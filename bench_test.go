@@ -1,0 +1,137 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper, one testing.B benchmark per experiment (see DESIGN.md §4). They
+// run at the Tiny scale so `go test -bench=.` stays fast; use cmd/ncbench
+// for larger scales. The shared workspace caches the simulated register,
+// so each benchmark measures its experiment's analysis pass.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/synth"
+)
+
+// benchWS is shared across benchmarks; bench.Workspace caches generated
+// snapshots and imported datasets.
+var benchWS = bench.NewWorkspace(bench.Tiny)
+
+const benchTop = 40 // clusters per NC1-NC3 customization in benchmarks
+
+func BenchmarkGenerateRegister(b *testing.B) {
+	cfg := synth.DefaultConfig(1, bench.Tiny.InitialVoters)
+	cfg.Snapshots = synth.Calendar(2008, bench.Tiny.Years)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		synth.Generate(cfg)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunTable1(benchWS, io.Discard)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunTable2(benchWS, io.Discard)
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunTable3(benchWS, benchTop, io.Discard)
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunTable4(benchWS, io.Discard)
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFigure1(benchWS, io.Discard)
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFigure3Examples(io.Discard)
+	}
+}
+
+func BenchmarkFigure4a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFigure4a(benchWS, io.Discard)
+	}
+}
+
+func BenchmarkFigure4b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFigure4b(benchWS, io.Discard)
+	}
+}
+
+func BenchmarkFigure4c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFigure4c(1, io.Discard)
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFigure5(benchWS, benchTop, io.Discard)
+	}
+}
+
+func BenchmarkFigure5Comparators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFigure5Comparators(1, io.Discard)
+	}
+}
+
+func BenchmarkAblationHashing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunAblationHashing(benchWS, io.Discard)
+	}
+}
+
+func BenchmarkAblationWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunAblationWindow(benchWS, benchTop, io.Discard)
+	}
+}
+
+func BenchmarkAblationWeights(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunAblationWeights(benchWS, benchTop, io.Discard)
+	}
+}
+
+func BenchmarkAblationGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunAblationGeneration(benchWS, io.Discard)
+	}
+}
+
+func BenchmarkAblationNameScoring(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunAblationNameScoring(benchWS, io.Discard)
+	}
+}
+
+func BenchmarkAblationBlocking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunAblationBlocking(benchWS, benchTop, io.Discard)
+	}
+}
+
+func BenchmarkAblationPollution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunAblationPollution(benchWS, io.Discard)
+	}
+}

@@ -1,0 +1,50 @@
+// Command ncserve exposes a stored test dataset over a read-only HTTP/JSON
+// API — the exploration companion the paper gets from MongoDB Compass (§5).
+//
+// Usage:
+//
+//	ncserve -db store/ -addr :8080
+//
+// Endpoints:
+//
+//	GET /stats                 dataset-level statistics
+//	GET /years                 per-year import history (Table 1)
+//	GET /histogram             cluster-size histogram (Fig. 1)
+//	GET /versions              published versions
+//	GET /clusters/{ncid}       one cluster document
+//	GET /clusters?score=plausibility&max=0.8&limit=50
+//	                           score-range queries over cluster summaries
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/docstore"
+	"repro/internal/httpapi"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ncserve: ")
+	var (
+		db   = flag.String("db", "store", "document-database directory")
+		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
+	)
+	flag.Parse()
+
+	stored, err := docstore.Load(*db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := core.FromDocDB(stored)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d clusters / %d records from %s on http://%s\n",
+		ds.NumClusters(), ds.NumRecords(), *db, *addr)
+	log.Fatal(http.ListenAndServe(*addr, httpapi.New(ds)))
+}

@@ -1,0 +1,131 @@
+// Command ncstats prints the statistics of a stored test dataset: the
+// per-year import history (Table 1), the generation summary, the
+// cluster-size histogram (Fig. 1) and — when scores were computed — the
+// plausibility and heterogeneity distributions (Fig. 4).
+//
+// Usage:
+//
+//	ncstats -db store/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/docstore"
+	"repro/internal/hetero"
+	"repro/internal/plaus"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ncstats: ")
+	var (
+		db      = flag.String("db", "store", "document-database directory")
+		version = flag.Int("version", 0, "reconstruct and report this published version (0 = latest)")
+		from    = flag.String("from", "", "restrict to snapshots >= this date (YYYY-MM-DD)")
+		to      = flag.String("to", "", "restrict to snapshots <= this date (YYYY-MM-DD)")
+	)
+	flag.Parse()
+
+	stored, err := docstore.Load(*db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := core.FromDocDB(stored)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := os.Stdout
+
+	fmt.Fprintf(out, "store %s: mode %q, %d versions\n", *db, ds.Mode, len(ds.Versions()))
+	if *version > 0 {
+		if *version > len(ds.Versions()) {
+			log.Fatalf("version %d not published (latest is %d)", *version, len(ds.Versions()))
+		}
+		ds = ds.ReconstructVersion(*version)
+		fmt.Fprintf(out, "reconstructed version %d\n", *version)
+	}
+	if *from != "" || *to != "" {
+		lo, hi := *from, *to
+		if lo == "" {
+			lo = "0000-01-01"
+		}
+		if hi == "" {
+			hi = "9999-12-31"
+		}
+		ds = ds.SnapshotRange(lo, hi)
+		fmt.Fprintf(out, "restricted to snapshots %s .. %s\n", lo, hi)
+	}
+	fmt.Fprintf(out, "clusters %d, records %d, duplicate pairs %d, avg cluster %.2f, max cluster %d\n",
+		ds.NumClusters(), ds.NumRecords(), ds.NumPairs(), ds.AvgClusterSize(), ds.MaxClusterSize())
+	fmt.Fprintf(out, "rows offered %d, removed as near-exact duplicates %d (%.1f%%)\n",
+		ds.TotalRows(), ds.RemovedRecords(),
+		100*float64(ds.RemovedRecords())/float64(max(1, ds.TotalRows())))
+
+	fmt.Fprintln(out, "\nper-year import history:")
+	for _, y := range ds.YearlyStats() {
+		fmt.Fprintf(out, "  %d: %d snapshots, %d rows, %d new records (%.1f%%), %d new objects (%.1f%%)\n",
+			y.Year, y.Snapshots, y.TotalRecords, y.NewRecords, 100*y.NewRecordRate,
+			y.NewObjects, 100*y.NewObjectRate)
+	}
+
+	fmt.Fprintln(out, "\ncluster-size histogram:")
+	hist := ds.ClusterSizeHistogram()
+	sizes := make([]int, 0, len(hist))
+	for s := range hist {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		fmt.Fprintf(out, "  size %3d: %d clusters\n", s, hist[s])
+	}
+
+	if ps := plaus.ClusterPlausibility(ds); len(ps) > 0 {
+		fmt.Fprintf(out, "\nplausibility: %d scored clusters, avg %.3f, min %.3f\n",
+			len(ps), mean(ps), minOf(ps))
+	}
+	if hs := hetero.ClusterHeterogeneity(ds, core.KindHeteroPerson); len(hs) > 0 {
+		fmt.Fprintf(out, "heterogeneity (person): %d scored clusters, avg %.3f, max %.3f\n",
+			len(hs), mean(hs), maxOf(hs))
+	}
+}
+
+func mean(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func minOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,60 @@
+// Companies: the paper's first future-work direction (§8) in action —
+// applying the historical-corpus procedure to a different domain. A
+// simulated commercial register (stable registration numbers, manual
+// filings, rebrandings and relocations) runs through the generic pipeline:
+// near-exact removal, heterogeneity profiling, and the detection substrate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/corpus"
+	"repro/internal/dedup"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := corpus.DefaultCompanyConfig(21, 600, 8)
+	snaps := corpus.GenerateCompanies(cfg)
+	fmt.Printf("simulated %d register snapshots\n", len(snaps))
+
+	d := corpus.NewDataset(corpus.CompanySchema())
+	for _, s := range snaps {
+		st, err := d.ImportSnapshot(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s: %5d rows, %4d new records, %3d new companies\n",
+			st.Snapshot, st.Rows, st.NewRecords, st.NewObjects)
+	}
+	removed := d.TotalRows() - d.NumRecords()
+	fmt.Printf("\ndeduplicated: %d rows -> %d records in %d clusters (%d pairs, %.1f%% removed)\n",
+		d.TotalRows(), d.NumRecords(), d.NumClusters(), d.NumPairs(),
+		100*float64(removed)/float64(d.TotalRows()))
+
+	hs := d.ClusterHeterogeneity()
+	fmt.Printf("heterogeneity: %d multi-record clusters, avg %.3f\n", len(hs), mean(hs))
+
+	ds := d.Export()
+	fmt.Println("\ndetection (same substrate as the voter experiments):")
+	for _, m := range dedup.Measures {
+		curve := dedup.Evaluate(ds, m, 4, 20, 100)
+		f1, th := curve.BestF1()
+		fmt.Printf("  %-12s best F1 %.3f @ threshold %.2f\n", m, f1, th)
+	}
+	fmt.Println("\nthe procedure generalizes: any snapshot corpus with a stable")
+	fmt.Println("object id yields a labeled test dataset the same way.")
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

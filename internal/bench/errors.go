@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/dedup"
+	"repro/internal/errstats"
+)
+
+// Table4Result is the error-diversity profile of NC vs Cora vs Census.
+type Table4Result struct {
+	NC     *errstats.Table
+	Cora   *errstats.Table
+	Census *errstats.Table
+}
+
+// RunTable4 profiles the big dataset's person attributes and the two
+// comparators the paper contrasts it with.
+func RunTable4(w *Workspace, out io.Writer) Table4Result {
+	res := Table4Result{
+		NC:     errstats.Analyze(errstats.FromDataset(w.Dataset(core.RemoveTrimmed))),
+		Cora:   errstats.Analyze(comparatorInput(datasets.Cora(w.Scale.Seed))),
+		Census: errstats.Analyze(comparatorInput(datasets.Census(w.Scale.Seed))),
+	}
+	fmt.Fprintln(out, "Table 4: irregularity statistics (most common attribute, count, percentage)")
+	errstats.RenderText(out, []errstats.Column{
+		{Name: "NC", Table: res.NC},
+		{Name: "Cora", Table: res.Cora},
+		{Name: "Census", Table: res.Census},
+	})
+	return res
+}
+
+// comparatorInput adapts a comparator dataset to the error analyzer. All
+// attribute pairs are confusable for the small schemas.
+func comparatorInput(ds *dedup.Dataset) errstats.Input {
+	in := errstats.Input{Attrs: ds.Attrs}
+	in.Records = append(in.Records, ds.Records...)
+	clusters := ds.Clusters()
+	for _, idx := range clustersSorted(clusters) {
+		in.Clusters = append(in.Clusters, idx)
+	}
+	return in
+}
+
+func clustersSorted(m map[int][]int) [][]int {
+	max := -1
+	for k := range m {
+		if k > max {
+			max = k
+		}
+	}
+	var out [][]int
+	for k := 0; k <= max; k++ {
+		if idx, ok := m[k]; ok {
+			out = append(out, idx)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Histogram buckets values from [0, 1] into n equal-width bins (the last
+// bin is closed on the right).
+type Histogram struct {
+	Bins   []int
+	Total  int
+	Width  float64
+	Labels []string
+}
+
+// NewHistogram buckets the values into n bins over [0, 1].
+func NewHistogram(values []float64, n int) Histogram {
+	h := Histogram{Bins: make([]int, n), Width: 1 / float64(n)}
+	for _, v := range values {
+		i := int(v / h.Width)
+		if i >= n {
+			i = n - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		h.Bins[i]++
+		h.Total++
+	}
+	for i := 0; i < n; i++ {
+		h.Labels = append(h.Labels, fmt.Sprintf("[%.2f,%.2f)", float64(i)*h.Width, float64(i+1)*h.Width))
+	}
+	return h
+}
+
+// Fprint renders the histogram with proportional bars.
+func (h Histogram) Fprint(w io.Writer, title string) {
+	fmt.Fprintf(w, "%s (n=%d)\n", title, h.Total)
+	max := 0
+	for _, b := range h.Bins {
+		if b > max {
+			max = b
+		}
+	}
+	for i, b := range h.Bins {
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", b*40/max)
+		}
+		pct := 0.0
+		if h.Total > 0 {
+			pct = 100 * float64(b) / float64(h.Total)
+		}
+		fmt.Fprintf(w, "  %s %8d %5.1f%% %s\n", h.Labels[i], b, pct, bar)
+	}
+}
+
+// Mean returns the arithmetic mean of values (0 for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// Max returns the maximum of values (0 for empty input).
+func Max(values []float64) float64 {
+	m := 0.0
+	for _, v := range values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of values (0 for empty input).
+func Min(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	m := values[0]
+	for _, v := range values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// FractionBelow returns the fraction of values strictly below x.
+func FractionBelow(values []float64, x float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range values {
+		if v < x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(values))
+}
+
+// FractionAtLeast returns the fraction of values >= x.
+func FractionAtLeast(values []float64, x float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	return 1 - FractionBelow(values, x)
+}

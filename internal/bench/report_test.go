@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestReportMarkdownRendering(t *testing.T) {
+	t2 := Table2Result{Rows: []core.GenerationStats{
+		{Mode: core.RemoveNone, Records: 100, DuplicatePairs: 50, AvgClusterSize: 2, MaxClusterSize: 4},
+		{Mode: core.RemoveTrimmed, Records: 60, DuplicatePairs: 20, AvgClusterSize: 1.5, MaxClusterSize: 3,
+			RemovedRecords: 40, RemovedRecPct: 0.4, RemovedPairs: 30, RemovedPairPct: 0.6},
+	}}
+	f3 := Figure3Result{SoundPlausibility: 0.71, UnsoundPlausibility: 0.26, SoundHetero: 0.47, UnsoundHetero: 0.75}
+	r := Report{
+		Scale:   Tiny,
+		Table2:  &t2,
+		Figure3: &f3,
+	}
+	var sb strings.Builder
+	r.WriteMarkdown(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# Experiment report",
+		"## Table 2",
+		"| trimming | 60 | 20 | 1.50 | 3 | 40.0% | 60.0% |",
+		"## Figure 3",
+		"plausibility 0.71",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown misses %q:\n%s", want, out)
+		}
+	}
+	// Nil sections are omitted.
+	if strings.Contains(out, "Table 1") || strings.Contains(out, "Figure 4a") {
+		t.Error("nil sections rendered")
+	}
+}
+
+func TestReportFullSections(t *testing.T) {
+	// A report over the shared test workspace exercises every section.
+	t1 := RunTable1(testWS, io.Discard)
+	t2 := RunTable2(testWS, io.Discard)
+	f3 := RunFigure3Examples(io.Discard)
+	f4a := RunFigure4a(testWS, io.Discard)
+	f4b := RunFigure4b(testWS, io.Discard)
+	f4c := RunFigure4c(1, io.Discard)
+	t4 := RunTable4(testWS, io.Discard)
+	r := Report{
+		Scale:    testWS.Scale,
+		Table1:   &t1,
+		Table2:   &t2,
+		Table4:   &t4,
+		Figure3:  &f3,
+		Figure4a: &f4a,
+		Figure4b: &f4b,
+		Figure4c: &f4c,
+	}
+	var sb strings.Builder
+	r.WriteMarkdown(&sb)
+	out := sb.String()
+	for _, want := range []string{"Table 1", "Table 2", "Table 4", "Figure 4a", "Figure 4b", "Figure 4c", "| Cora |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("full report misses %q", want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// ScalePoint is one measurement of the scale sweep.
+type ScalePoint struct {
+	InitialVoters int
+	Rows          int
+	Records       int
+	GenSeconds    float64
+	ImportSeconds float64
+	RowsPerSecond float64 // import throughput
+}
+
+// RunScaleSweep measures generation and import throughput across growing
+// populations — the quantified version of the paper's "duplicate detection
+// at scale" framing: the pipeline must digest register-sized inputs in
+// time linear in the row count.
+func RunScaleSweep(seed int64, sizes []int, years int, out io.Writer) []ScalePoint {
+	var points []ScalePoint
+	fmt.Fprintln(out, "Scale sweep: generation + trimming-mode import")
+	fmt.Fprintf(out, "%10s %10s %10s %8s %8s %12s\n",
+		"voters", "rows", "records", "gen s", "import s", "rows/s")
+	for _, size := range sizes {
+		cfg := synth.DefaultConfig(seed, size)
+		cfg.Snapshots = synth.Calendar(2008, years)
+
+		start := time.Now()
+		snaps := synth.Generate(cfg)
+		genDur := time.Since(start)
+
+		rows := 0
+		for _, s := range snaps {
+			rows += len(s.Records)
+		}
+
+		d := core.NewDataset(core.RemoveTrimmed)
+		start = time.Now()
+		for _, s := range snaps {
+			d.ImportSnapshot(s)
+		}
+		impDur := time.Since(start)
+		d.Publish()
+
+		p := ScalePoint{
+			InitialVoters: size,
+			Rows:          rows,
+			Records:       d.NumRecords(),
+			GenSeconds:    genDur.Seconds(),
+			ImportSeconds: impDur.Seconds(),
+		}
+		if impDur > 0 {
+			p.RowsPerSecond = float64(rows) / impDur.Seconds()
+		}
+		points = append(points, p)
+		fmt.Fprintf(out, "%10d %10d %10d %8.2f %8.2f %12.0f\n",
+			p.InitialVoters, p.Rows, p.Records, p.GenSeconds, p.ImportSeconds, p.RowsPerSecond)
+	}
+	return points
+}

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+func TestScaleSweepThroughputRoughlyLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale sweep is slow")
+	}
+	points := RunScaleSweep(1, []int{300, 1200}, 5, io.Discard)
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	small, big := points[0], points[1]
+	if big.Rows <= small.Rows*3 {
+		t.Errorf("row counts did not scale: %d vs %d", small.Rows, big.Rows)
+	}
+	// Throughput must not collapse with size (hash-based import is linear;
+	// allow generous constant-factor noise).
+	if big.RowsPerSecond < small.RowsPerSecond/4 {
+		t.Errorf("import throughput collapsed: %.0f -> %.0f rows/s",
+			small.RowsPerSecond, big.RowsPerSecond)
+	}
+	for _, p := range points {
+		if p.Records <= 0 || p.Records > p.Rows {
+			t.Errorf("implausible record count: %+v", p)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Table1Result is the reproduction of the paper's Table 1: per-year
+// snapshot statistics of the register import.
+type Table1Result struct {
+	Years []core.YearStats
+}
+
+// RunTable1 imports all snapshots under the trimming mode and aggregates
+// the per-snapshot statistics by year.
+func RunTable1(w *Workspace, out io.Writer) Table1Result {
+	d := w.Dataset(core.RemoveTrimmed)
+	res := Table1Result{Years: d.YearlyStats()}
+	fmt.Fprintln(out, "Table 1: per-year snapshot statistics (trimming-mode hashing)")
+	fmt.Fprintf(out, "%6s %10s %13s %12s %12s %9s %9s\n",
+		"year", "#snapshots", "total records", "new records", "new objects", "rec rate", "obj rate")
+	var total core.YearStats
+	for _, y := range res.Years {
+		fmt.Fprintf(out, "%6d %10d %13d %12d %12d %8.1f%% %8.1f%%\n",
+			y.Year, y.Snapshots, y.TotalRecords, y.NewRecords, y.NewObjects,
+			100*y.NewRecordRate, 100*y.NewObjectRate)
+		total.Snapshots += y.Snapshots
+		total.TotalRecords += y.TotalRecords
+		total.NewRecords += y.NewRecords
+		total.NewObjects += y.NewObjects
+	}
+	recRate, objRate := 0.0, 0.0
+	if total.TotalRecords > 0 {
+		recRate = float64(total.NewRecords) / float64(total.TotalRecords)
+	}
+	if total.NewRecords > 0 {
+		objRate = float64(total.NewObjects) / float64(total.NewRecords)
+	}
+	fmt.Fprintf(out, "%6s %10d %13d %12d %12d %8.1f%% %8.1f%%\n",
+		"total", total.Snapshots, total.TotalRecords, total.NewRecords, total.NewObjects,
+		100*recRate, 100*objRate)
+	return res
+}
+
+// Table2Result is the reproduction of Table 2: the generation-process
+// statistics of the four removal modes.
+type Table2Result struct {
+	Rows []core.GenerationStats
+}
+
+// Modes lists the four removal modes in table order.
+var Modes = []core.RemovalMode{
+	core.RemoveNone, core.RemoveExact, core.RemoveTrimmed, core.RemovePersonData,
+}
+
+// RunTable2 imports all snapshots under every removal mode and prints the
+// Table 2 rows.
+func RunTable2(w *Workspace, out io.Writer) Table2Result {
+	nonePairs := w.Dataset(core.RemoveNone).NumPairs()
+	var res Table2Result
+	fmt.Fprintln(out, "Table 2: generation-process statistics per duplicate-removal mode")
+	fmt.Fprintf(out, "%-12s %10s %12s %9s %8s %10s %9s %12s %9s\n",
+		"removal", "#records", "#dup pairs", "avg size", "max size",
+		"#removed", "rem rec%", "#rem pairs", "rem pair%")
+	for _, mode := range Modes {
+		d := w.Dataset(mode)
+		gs := d.Stats(nonePairs)
+		res.Rows = append(res.Rows, gs)
+		fmt.Fprintf(out, "%-12s %10d %12d %9.2f %8d %10d %8.1f%% %12d %8.1f%%\n",
+			gs.Mode, gs.Records, gs.DuplicatePairs, gs.AvgClusterSize, gs.MaxClusterSize,
+			gs.RemovedRecords, 100*gs.RemovedRecPct, gs.RemovedPairs, 100*gs.RemovedPairPct)
+	}
+	fmt.Fprintf(out, "clusters (objects): %d\n", w.Dataset(core.RemoveNone).NumClusters())
+	return res
+}
+
+// Figure1Result is the reproduction of Figure 1: cluster-size
+// distributions.
+type Figure1Result struct {
+	SingleSnapshot map[int]int // Fig. 1a: clusters per size within one snapshot
+	WholeAll       map[int]int // Fig. 1b: whole dataset, all attributes (trimming)
+	WholePerson    map[int]int // Fig. 1b: whole dataset, person attributes
+}
+
+// RunFigure1 derives the three cluster-size histograms.
+func RunFigure1(w *Workspace, out io.Writer) Figure1Result {
+	snaps := w.Snapshots()
+	last := snaps[len(snaps)-1]
+	single := core.NewDataset(core.RemoveTrimmed)
+	single.ImportSnapshot(last)
+
+	res := Figure1Result{
+		SingleSnapshot: single.ClusterSizeHistogram(),
+		WholeAll:       w.Dataset(core.RemoveTrimmed).ClusterSizeHistogram(),
+		WholePerson:    w.Dataset(core.RemovePersonData).ClusterSizeHistogram(),
+	}
+	fmt.Fprintln(out, "Figure 1: number of clusters per cluster size")
+	printSizeHistogram(out, "  (a) single snapshot "+last.Date, res.SingleSnapshot)
+	printSizeHistogram(out, "  (b) whole dataset, all attributes", res.WholeAll)
+	printSizeHistogram(out, "  (b) whole dataset, person attributes", res.WholePerson)
+	return res
+}
+
+func printSizeHistogram(out io.Writer, title string, h map[int]int) {
+	fmt.Fprintln(out, title)
+	sizes := make([]int, 0, len(h))
+	for s := range h {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		fmt.Fprintf(out, "    size %3d: %d clusters\n", s, h[s])
+	}
+}

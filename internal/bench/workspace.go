@@ -1,0 +1,89 @@
+// Package bench is the experiment harness: one runner per table and figure
+// of the paper's evaluation (§6), each regenerating the same rows or series
+// the paper reports, at a configurable scale. Runners return structured
+// results (for tests and EXPERIMENTS.md) and render a human-readable table
+// to the supplied writer.
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/hetero"
+	"repro/internal/plaus"
+	"repro/internal/synth"
+	"repro/internal/voter"
+)
+
+// Scale sizes one experiment workspace. The paper works on 507 M rows; the
+// default scales keep every shape claim while finishing in seconds.
+type Scale struct {
+	Seed          int64
+	InitialVoters int
+	Years         int
+}
+
+// Canonical scales.
+var (
+	Tiny   = Scale{Seed: 1, InitialVoters: 200, Years: 5}
+	Small  = Scale{Seed: 1, InitialVoters: 600, Years: 8}
+	Medium = Scale{Seed: 1, InitialVoters: 2500, Years: 13}
+	Large  = Scale{Seed: 1, InitialVoters: 10000, Years: 13}
+)
+
+// Workspace generates the synthetic register once and caches the imported
+// datasets per removal mode, so the table and figure runners share work.
+type Workspace struct {
+	Scale     Scale
+	snapshots []voter.Snapshot
+	datasets  map[core.RemovalMode]*core.Dataset
+	scored    map[core.RemovalMode]bool
+}
+
+// NewWorkspace returns an empty lazy workspace.
+func NewWorkspace(s Scale) *Workspace {
+	return &Workspace{
+		Scale:    s,
+		datasets: map[core.RemovalMode]*core.Dataset{},
+		scored:   map[core.RemovalMode]bool{},
+	}
+}
+
+// SynthConfig returns the simulator configuration of this workspace.
+func (w *Workspace) SynthConfig() synth.Config {
+	return synth.DefaultConfig(w.Scale.Seed, w.Scale.InitialVoters)
+}
+
+// Snapshots generates (once) and returns the register snapshots.
+func (w *Workspace) Snapshots() []voter.Snapshot {
+	if w.snapshots == nil {
+		cfg := w.SynthConfig()
+		cfg.Snapshots = synth.Calendar(2008, w.Scale.Years)
+		w.snapshots = synth.Generate(cfg)
+	}
+	return w.snapshots
+}
+
+// Dataset imports (once) all snapshots under the given removal mode.
+func (w *Workspace) Dataset(mode core.RemovalMode) *core.Dataset {
+	if d, ok := w.datasets[mode]; ok {
+		return d
+	}
+	d := core.NewDataset(mode)
+	for _, s := range w.Snapshots() {
+		d.ImportSnapshot(s)
+	}
+	d.Publish()
+	w.datasets[mode] = d
+	return d
+}
+
+// ScoredDataset returns the trimmed-mode dataset with plausibility and
+// heterogeneity version-similarity maps computed (once, over all cores).
+func (w *Workspace) ScoredDataset() *core.Dataset {
+	d := w.Dataset(core.RemoveTrimmed)
+	if !w.scored[core.RemoveTrimmed] {
+		plaus.UpdateParallel(d, 0)
+		hetero.UpdateParallel(d, 0)
+		w.scored[core.RemoveTrimmed] = true
+	}
+	return d
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// UpdateScoresParallel is UpdateScores with the per-cluster work spread over
+// a worker pool. Clusters are independent — each owns its version-similarity
+// map — so the only coordination is the work queue. workers <= 0 selects
+// GOMAXPROCS. The result is identical to the sequential UpdateScores.
+func (d *Dataset) UpdateScoresParallel(kind string, scorer PairScorer, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		d.UpdateScores(kind, scorer)
+		return
+	}
+	jobs := make(chan *Cluster, workers*2)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				scoreCluster(c, kind, scorer)
+			}
+		}()
+	}
+	for _, id := range d.order {
+		jobs <- d.clusters[id]
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// scoreCluster computes the missing pair scores of one cluster (the body of
+// UpdateScores, factored out for the worker pool).
+func scoreCluster(c *Cluster, kind string, scorer PairScorer) {
+	vm := c.SimMaps[kind]
+	if vm == nil {
+		vm = VersionSimMap{}
+		c.SimMaps[kind] = vm
+	}
+	from := c.scoredThrough(kind)
+	for i := from; i < len(c.Records); i++ {
+		if i == 0 {
+			continue
+		}
+		version := c.Records[i].FirstVersion
+		byI := vm[version]
+		if byI == nil {
+			byI = map[int]map[int]float64{}
+			vm[version] = byI
+		}
+		row := map[int]float64{}
+		for j := 0; j < i; j++ {
+			row[j] = scorer(c.Records[i].Rec, c.Records[j].Rec)
+		}
+		byI[i] = row
+	}
+}

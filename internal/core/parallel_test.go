@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/voter"
+)
+
+// buildScoredInput creates a dataset with many multi-record clusters.
+func buildScoredInput(n int) *Dataset {
+	d := NewDataset(RemoveTrimmed)
+	var recs []voter.Record
+	for c := 0; c < n; c++ {
+		for v := 0; v < 3; v++ {
+			r := voter.NewRecord()
+			r.SetName("ncid", fmt.Sprintf("C%05d", c))
+			r.SetName("first_name", fmt.Sprintf("NAME%d", c))
+			r.SetName("last_name", fmt.Sprintf("LAST%d-%d", c, v))
+			recs = append(recs, r)
+		}
+	}
+	d.ImportSnapshot(voter.Snapshot{Date: "2008-01-01", Records: recs})
+	return d
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	scorer := func(a, b voter.Record) float64 {
+		if a.GetName("last_name") == b.GetName("last_name") {
+			return 1
+		}
+		return 0.5
+	}
+	seq := buildScoredInput(200)
+	seq.UpdateScores("k", scorer)
+	par := buildScoredInput(200)
+	par.UpdateScoresParallel("k", scorer, 8)
+
+	if seq.NumClusters() != par.NumClusters() {
+		t.Fatal("cluster counts differ")
+	}
+	for _, id := range seq.NCIDs() {
+		a, b := seq.Cluster(id), par.Cluster(id)
+		for i := 1; i < len(a.Records); i++ {
+			for j := 0; j < i; j++ {
+				sa, oka := a.PairScore("k", i, j)
+				sb, okb := b.PairScore("k", i, j)
+				if oka != okb || sa != sb {
+					t.Fatalf("cluster %s pair (%d,%d): %v/%v vs %v/%v", id, i, j, sa, oka, sb, okb)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelSingleWorkerFallsBack(t *testing.T) {
+	d := buildScoredInput(10)
+	d.UpdateScoresParallel("k", func(a, b voter.Record) float64 { return 0.7 }, 1)
+	if s, ok := d.Cluster("C00000").PairScore("k", 1, 0); !ok || s != 0.7 {
+		t.Errorf("score = %v, %v", s, ok)
+	}
+}
+
+func TestParallelIncrementalAcrossVersions(t *testing.T) {
+	d := buildScoredInput(50)
+	d.UpdateScoresParallel("k", func(a, b voter.Record) float64 { return 1 }, 4)
+	d.Publish()
+	// Second round with a contradicting scorer: old pairs must keep their
+	// stored value.
+	var recs []voter.Record
+	for c := 0; c < 50; c++ {
+		r := voter.NewRecord()
+		r.SetName("ncid", fmt.Sprintf("C%05d", c))
+		r.SetName("first_name", "NEW")
+		r.SetName("last_name", fmt.Sprintf("NEW%d", c))
+		recs = append(recs, r)
+	}
+	d.ImportSnapshot(voter.Snapshot{Date: "2009-01-01", Records: recs})
+	d.UpdateScoresParallel("k", func(a, b voter.Record) float64 { return 0.25 }, 4)
+	d.Publish()
+
+	c := d.Cluster("C00000")
+	if s, _ := c.PairScore("k", 1, 0); s != 1 {
+		t.Errorf("old pair recomputed: %v", s)
+	}
+	if s, _ := c.PairScore("k", 3, 0); s != 0.25 {
+		t.Errorf("new pair = %v", s)
+	}
+}
+
+func BenchmarkUpdateScoresSequential(b *testing.B) {
+	scorer := func(a, b voter.Record) float64 { return 0.5 }
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := buildScoredInput(500)
+		b.StartTimer()
+		d.UpdateScores("k", scorer)
+	}
+}
+
+func BenchmarkUpdateScoresParallel(b *testing.B) {
+	scorer := func(a, b voter.Record) float64 { return 0.5 }
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := buildScoredInput(500)
+		b.StartTimer()
+		d.UpdateScoresParallel("k", scorer, 0)
+	}
+}

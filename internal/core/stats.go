@@ -1,0 +1,102 @@
+package core
+
+import "sort"
+
+// YearStats aggregates the import statistics of all snapshots of one
+// calendar year — one row of the paper's Table 1.
+type YearStats struct {
+	Year          int
+	Snapshots     int
+	TotalRecords  int // rows offered across the year's snapshots
+	NewRecords    int
+	NewObjects    int
+	NewRecordRate float64 // NewRecords / TotalRecords
+	NewObjectRate float64 // NewObjects / NewRecords
+}
+
+// YearlyStats groups the dataset's import history by snapshot year,
+// ascending. Snapshots with unparsable dates land in year 0.
+func (d *Dataset) YearlyStats() []YearStats {
+	byYear := map[int]*YearStats{}
+	for _, st := range d.imports {
+		y := 0
+		if len(st.Snapshot) >= 4 {
+			y = atoi(st.Snapshot[:4])
+		}
+		ys, ok := byYear[y]
+		if !ok {
+			ys = &YearStats{Year: y}
+			byYear[y] = ys
+		}
+		ys.Snapshots++
+		ys.TotalRecords += st.Rows
+		ys.NewRecords += st.NewRecords
+		ys.NewObjects += st.NewObjects
+	}
+	years := make([]int, 0, len(byYear))
+	for y := range byYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	out := make([]YearStats, 0, len(years))
+	for _, y := range years {
+		ys := byYear[y]
+		if ys.TotalRecords > 0 {
+			ys.NewRecordRate = float64(ys.NewRecords) / float64(ys.TotalRecords)
+		}
+		if ys.NewRecords > 0 {
+			ys.NewObjectRate = float64(ys.NewObjects) / float64(ys.NewRecords)
+		}
+		out = append(out, *ys)
+	}
+	return out
+}
+
+// GenerationStats summarizes one removal mode's outcome — one row of the
+// paper's Table 2. RemovedPairsPct is relative to the pair count of the
+// no-removal run and must be supplied by the caller (who ran both).
+type GenerationStats struct {
+	Mode           RemovalMode
+	Records        int
+	DuplicatePairs int
+	AvgClusterSize float64
+	MaxClusterSize int
+	RemovedRecords int
+	RemovedRecPct  float64 // removed records / total rows
+	RemovedPairs   int     // vs. the no-removal pair count
+	RemovedPairPct float64
+}
+
+// Stats summarizes the dataset under its removal mode. nonePairs is the
+// duplicate-pair count of the corresponding no-removal run (pass 0 if
+// unknown; the pair-removal columns stay zero then).
+func (d *Dataset) Stats(nonePairs int) GenerationStats {
+	gs := GenerationStats{
+		Mode:           d.Mode,
+		Records:        d.NumRecords(),
+		DuplicatePairs: d.NumPairs(),
+		AvgClusterSize: d.AvgClusterSize(),
+		MaxClusterSize: d.MaxClusterSize(),
+		RemovedRecords: d.RemovedRecords(),
+	}
+	if d.totalRows > 0 {
+		gs.RemovedRecPct = float64(gs.RemovedRecords) / float64(d.totalRows)
+	}
+	if nonePairs > 0 {
+		gs.RemovedPairs = nonePairs - gs.DuplicatePairs
+		gs.RemovedPairPct = float64(gs.RemovedPairs) / float64(nonePairs)
+	}
+	return gs
+}
+
+// atoi is a no-error integer parse for trusted year prefixes.
+func atoi(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

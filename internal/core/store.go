@@ -1,0 +1,370 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/docstore"
+	"repro/internal/voter"
+)
+
+// Materialization of the dataset into the document store, following the
+// paper's layout (§5): one document per person (duplicate cluster) holding
+// an array with one sub-document per record — itself split into person,
+// district, election and meta parts — plus a cluster-meta sub-document with
+// the record hashes, per-snapshot insert counts, per-record snapshot arrays
+// and first-version fields, and the version-similarity maps. Only non-empty
+// attribute values are stored, so the sparse district columns cost nothing.
+
+// ClustersCollection is the collection name used for cluster documents.
+const ClustersCollection = "clusters"
+
+// MetaCollection is the collection name for dataset-level metadata.
+const MetaCollection = "dataset"
+
+// ToDocDB materializes the dataset into a fresh document database.
+func (d *Dataset) ToDocDB() *docstore.DB {
+	db := docstore.NewDB()
+	col := db.Collection(ClustersCollection)
+	for _, id := range d.order {
+		if err := col.Insert(clusterDoc(d.clusters[id])); err != nil {
+			// Cluster ids are unique by construction; an error here is a
+			// programming bug.
+			panic(err)
+		}
+	}
+	meta := db.Collection(MetaCollection)
+	versions := make([]any, 0, len(d.versions))
+	for _, v := range d.versions {
+		snaps := make([]any, len(v.Snapshots))
+		for i, s := range v.Snapshots {
+			snaps[i] = s
+		}
+		versions = append(versions, docstore.D("number", v.Number, "snapshots", snaps))
+	}
+	imports := make([]any, 0, len(d.imports))
+	for _, st := range d.imports {
+		imports = append(imports, docstore.D(
+			"snapshot", st.Snapshot, "rows", st.Rows,
+			"newRecords", st.NewRecords, "newObjects", st.NewObjects))
+	}
+	if err := meta.Insert(docstore.D(
+		"_id", "dataset",
+		"mode", int(d.Mode),
+		"totalRows", d.totalRows,
+		"versions", versions,
+		"imports", imports,
+	)); err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// clusterDoc renders one cluster as a nested document.
+func clusterDoc(c *Cluster) docstore.Document {
+	records := make([]any, 0, len(c.Records))
+	hashes := make([]any, 0, len(c.Records))
+	firstVersions := make([]any, 0, len(c.Records))
+	snapshots := make([]any, 0, len(c.Records))
+	for _, e := range c.Records {
+		records = append(records, recordDoc(e.Rec))
+		hashes = append(hashes, HashHex(e.Hash))
+		firstVersions = append(firstVersions, e.FirstVersion)
+		dates := make([]any, len(e.Snapshots))
+		for i, s := range e.Snapshots {
+			dates[i] = s
+		}
+		snapshots = append(snapshots, dates)
+	}
+	inserted := docstore.Document{}
+	for _, date := range sortedKeys(c.Inserted) {
+		inserted[docstore.FieldPathEscape(date)] = c.Inserted[date]
+	}
+	sims := docstore.Document{}
+	for kind, vm := range c.SimMaps {
+		kindDoc := docstore.Document{}
+		for version, byI := range vm {
+			vDoc := docstore.Document{}
+			for i, row := range byI {
+				rowDoc := docstore.Document{}
+				for j, s := range row {
+					rowDoc[strconv.Itoa(j)] = s
+				}
+				vDoc[strconv.Itoa(i)] = rowDoc
+			}
+			kindDoc["v"+strconv.Itoa(version)] = vDoc
+		}
+		sims[kind] = kindDoc
+	}
+	doc := docstore.D(
+		"_id", c.NCID,
+		"size", len(c.Records),
+		"records", records,
+		"meta", docstore.D(
+			"hashes", hashes,
+			"firstVersion", firstVersions,
+			"snapshots", snapshots,
+			"inserted", inserted,
+			"sims", sims,
+		),
+	)
+	// Cluster-level score summaries let users select score ranges with
+	// plain store queries (the paper's customization workflow, §5): the
+	// minimum plausibility and the mean person heterogeneity.
+	if p, ok := c.ClusterScore(KindPlausibility, AggMin); ok {
+		doc["plausibility"] = p
+	}
+	if h, ok := c.ClusterScore(KindHeteroPerson, AggMean); ok {
+		doc["heterogeneity"] = HeteroFromSim(h)
+	}
+	return doc
+}
+
+// recordDoc splits one record into the four group sub-documents, storing
+// only non-empty values (sparse representation).
+func recordDoc(r voter.Record) docstore.Document {
+	doc := docstore.Document{}
+	for i, a := range voter.Attributes {
+		v := r.Values[i]
+		if v == "" {
+			continue
+		}
+		group, ok := doc[a.Group.String()].(docstore.Document)
+		if !ok {
+			group = docstore.Document{}
+			doc[a.Group.String()] = group
+		}
+		group[a.Name] = v
+	}
+	return doc
+}
+
+// FromDocDB reconstructs a Dataset from a document database produced by
+// ToDocDB (directly or after a Save/Load round trip).
+func FromDocDB(db *docstore.DB) (*Dataset, error) {
+	meta := db.Collection(MetaCollection).Get("dataset")
+	if meta == nil {
+		return nil, fmt.Errorf("core: document database misses the dataset metadata")
+	}
+	mode, _ := docstore.Get(meta, "mode")
+	d := NewDataset(RemovalMode(asInt(mode)))
+	if tr, ok := docstore.Get(meta, "totalRows"); ok {
+		d.totalRows = asInt(tr)
+	}
+	if vs, ok := docstore.Get(meta, "versions"); ok {
+		arr, _ := vs.([]any)
+		for _, v := range arr {
+			vd, _ := v.(docstore.Document)
+			num, _ := docstore.Get(vd, "number")
+			ver := Version{Number: asInt(num)}
+			if snaps, ok := docstore.Get(vd, "snapshots"); ok {
+				for _, s := range snaps.([]any) {
+					ver.Snapshots = append(ver.Snapshots, fmt.Sprint(s))
+				}
+			}
+			d.versions = append(d.versions, ver)
+		}
+	}
+	if is, ok := docstore.Get(meta, "imports"); ok {
+		arr, _ := is.([]any)
+		for _, v := range arr {
+			vd, _ := v.(docstore.Document)
+			st := ImportStats{}
+			if s, ok := docstore.Get(vd, "snapshot"); ok {
+				st.Snapshot = fmt.Sprint(s)
+			}
+			st.Rows = intAt(vd, "rows")
+			st.NewRecords = intAt(vd, "newRecords")
+			st.NewObjects = intAt(vd, "newObjects")
+			d.imports = append(d.imports, st)
+		}
+	}
+	var loadErr error
+	db.Collection(ClustersCollection).ForEach(func(doc docstore.Document) bool {
+		c, err := clusterFromDoc(doc)
+		if err != nil {
+			loadErr = err
+			return false
+		}
+		d.clusters[c.NCID] = c
+		d.order = append(d.order, c.NCID)
+		return true
+	})
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	return d, nil
+}
+
+// clusterFromDoc parses one cluster document.
+func clusterFromDoc(doc docstore.Document) (*Cluster, error) {
+	ncid, _ := doc["_id"].(string)
+	c := &Cluster{
+		NCID:     ncid,
+		Inserted: map[string]int{},
+		SimMaps:  map[string]VersionSimMap{},
+		hashes:   map[voter.Hash]int{},
+	}
+	recsAny, _ := doc["records"].([]any)
+	hashesAny, _ := valueAt(doc, "meta.hashes").([]any)
+	fvAny, _ := valueAt(doc, "meta.firstVersion").([]any)
+	snapsAny, _ := valueAt(doc, "meta.snapshots").([]any)
+	for i, rv := range recsAny {
+		rd, _ := rv.(docstore.Document)
+		e := RecordEntry{Rec: recordFromDoc(rd), FirstVersion: 1}
+		if i < len(hashesAny) {
+			if hs, ok := hashesAny[i].(string); ok {
+				if h, ok := decodeHash(hs); ok {
+					e.Hash = h
+				}
+			}
+		}
+		if i < len(fvAny) {
+			e.FirstVersion = asInt(fvAny[i])
+		}
+		if i < len(snapsAny) {
+			if dates, ok := snapsAny[i].([]any); ok {
+				for _, dt := range dates {
+					e.Snapshots = append(e.Snapshots, fmt.Sprint(dt))
+				}
+			}
+		}
+		if _, dup := c.hashes[e.Hash]; !dup {
+			c.hashes[e.Hash] = len(c.Records)
+		}
+		c.Records = append(c.Records, e)
+	}
+	if ins, ok := valueAt(doc, "meta.inserted").(docstore.Document); ok {
+		for k, v := range ins {
+			c.Inserted[unescapeField(k)] = asInt(v)
+		}
+	}
+	if sims, ok := valueAt(doc, "meta.sims").(docstore.Document); ok {
+		for kind, kv := range sims {
+			kindDoc, _ := kv.(docstore.Document)
+			vm := VersionSimMap{}
+			for vkey, vv := range kindDoc {
+				version, err := strconv.Atoi(trimPrefix(vkey, "v"))
+				if err != nil {
+					continue
+				}
+				vDoc, _ := vv.(docstore.Document)
+				byI := map[int]map[int]float64{}
+				for ikey, iv := range vDoc {
+					i, err := strconv.Atoi(ikey)
+					if err != nil {
+						continue
+					}
+					rowDoc, _ := iv.(docstore.Document)
+					row := map[int]float64{}
+					for jkey, jv := range rowDoc {
+						j, err := strconv.Atoi(jkey)
+						if err != nil {
+							continue
+						}
+						row[j] = asFloat(jv)
+					}
+					byI[i] = row
+				}
+				vm[version] = byI
+			}
+			c.SimMaps[kind] = vm
+		}
+	}
+	return c, nil
+}
+
+// recordFromDoc rebuilds the flat 90-value record from the grouped sparse
+// document.
+func recordFromDoc(doc docstore.Document) voter.Record {
+	r := voter.NewRecord()
+	for i, a := range voter.Attributes {
+		if group, ok := doc[a.Group.String()].(docstore.Document); ok {
+			if v, ok := group[a.Name].(string); ok {
+				r.Values[i] = v
+			}
+		}
+	}
+	return r
+}
+
+// decodeHash parses the hex form written by HashHex.
+func decodeHash(s string) (voter.Hash, bool) {
+	var h voter.Hash
+	if len(s) != len(h)*2 {
+		return h, false
+	}
+	for i := 0; i < len(h); i++ {
+		hi, ok1 := fromHexDigit(s[2*i])
+		lo, ok2 := fromHexDigit(s[2*i+1])
+		if !ok1 || !ok2 {
+			return voter.Hash{}, false
+		}
+		h[i] = hi<<4 | lo
+	}
+	return h, true
+}
+
+func fromHexDigit(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// valueAt is Get without the ok flag.
+func valueAt(doc docstore.Document, path string) any {
+	v, _ := docstore.Get(doc, path)
+	return v
+}
+
+func intAt(doc docstore.Document, path string) int {
+	v, _ := docstore.Get(doc, path)
+	return asInt(v)
+}
+
+func asInt(v any) int {
+	switch n := v.(type) {
+	case int:
+		return n
+	case int64:
+		return int(n)
+	case float64:
+		return int(n)
+	}
+	return 0
+}
+
+func asFloat(v any) float64 {
+	switch n := v.(type) {
+	case float64:
+		return n
+	case int:
+		return float64(n)
+	}
+	return 0
+}
+
+func trimPrefix(s, p string) string {
+	if len(s) >= len(p) && s[:len(p)] == p {
+		return s[len(p):]
+	}
+	return s
+}
+
+func unescapeField(k string) string {
+	out := make([]rune, 0, len(k))
+	for _, r := range k {
+		if r == '．' {
+			out = append(out, '.')
+			continue
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/docstore"
+	"repro/internal/simil"
+	"repro/internal/voter"
+)
+
+// buildScoredStore builds a dataset with three clusters of distinct
+// plausibility/heterogeneity levels and materializes it.
+func buildScoredStore(t *testing.T) *docstore.DB {
+	t.Helper()
+	mk := func(ncid, first, last string) voter.Record {
+		r := voter.NewRecord()
+		r.SetName("ncid", ncid)
+		r.SetName("first_name", first)
+		r.SetName("last_name", last)
+		r.SetName("sex_code", "F")
+		return r
+	}
+	d := NewDataset(RemoveTrimmed)
+	d.ImportSnapshot(voter.Snapshot{Date: "2008-01-01", Records: []voter.Record{
+		// CLEAN: the two rows differ only in a trailing period (a
+		// formatting difference that survives trimming-mode hashing but is
+		// forgiven by the scorers).
+		mk("CLEAN", "ANNA", "SMITH"), mk("CLEAN", "ANNA", "SMITH."),
+		mk("TYPO", "BELLA", "JONES"), mk("TYPO", "BELLAX", "JONES"),
+		mk("BAD", "CARLA", "WILSON"), mk("BAD", "ZOE", "NGUYEN"),
+	}})
+	// Plausibility via the name scorer; heterogeneity via a first-name
+	// similarity stand-in (cheap and monotone for this test).
+	d.UpdateScores(KindPlausibility, func(a, b voter.Record) float64 {
+		return simil.GeneralizedJaccard(
+			[]string{a.GetName("first_name"), a.GetName("last_name")},
+			[]string{b.GetName("first_name"), b.GetName("last_name")},
+			simil.ExtendedDamerauLevenshtein, 0.5)
+	})
+	d.UpdateScores(KindHeteroPerson, func(a, b voter.Record) float64 {
+		return simil.DamerauLevenshteinSimilarity(a.GetName("first_name"), b.GetName("first_name"))
+	})
+	d.Publish()
+	return d.ToDocDB()
+}
+
+func TestClusterDocsCarryScoreSummaries(t *testing.T) {
+	db := buildScoredStore(t)
+	col := db.Collection(ClustersCollection)
+
+	clean := col.Get("CLEAN")
+	if v, ok := clean["plausibility"]; !ok || v.(float64) < 0.99 {
+		t.Errorf("clean plausibility = %v, %v", v, ok)
+	}
+	bad := col.Get("BAD")
+	if v, ok := bad["plausibility"]; !ok || v.(float64) > 0.6 {
+		t.Errorf("bad plausibility = %v, %v", v, ok)
+	}
+	if v, ok := clean["heterogeneity"]; !ok || v.(float64) > 0.1 {
+		t.Errorf("clean heterogeneity = %v, %v", v, ok)
+	}
+}
+
+func TestStoreQueryCustomization(t *testing.T) {
+	// The paper's customization workflow directly on the store: select
+	// suspect clusters via a range scan and extract a subset via the
+	// aggregation pipeline.
+	db := buildScoredStore(t)
+	col := db.Collection(ClustersCollection)
+	col.CreateOrderedIndex("plausibility")
+
+	suspects := col.FindRange("plausibility", nil, 0.8)
+	if len(suspects) != 1 || suspects[0]["_id"] != "BAD" {
+		t.Fatalf("suspects = %v", ids(suspects))
+	}
+
+	sound := col.Pipeline(
+		docstore.Match{Filter: docstore.Gt("plausibility", 0.8)},
+		docstore.Sort{Path: "heterogeneity", Desc: true},
+		docstore.Project{Paths: []string{"size", "heterogeneity"}},
+	)
+	if len(sound) != 2 {
+		t.Fatalf("sound clusters = %v", ids(sound))
+	}
+	// The typo cluster is dirtier than the whitespace-only cluster.
+	if sound[0]["_id"] != "TYPO" {
+		t.Errorf("dirtiest sound cluster = %v", sound[0]["_id"])
+	}
+
+	// Per-record extraction via Unwind (the "one document per person,
+	// records nested" layout pays off here).
+	recs := col.Pipeline(
+		docstore.Match{Filter: docstore.Eq("_id", "TYPO")},
+		docstore.Unwind{Path: "records"},
+		docstore.Project{Paths: []string{"records.person.first_name"}},
+	)
+	if len(recs) != 2 {
+		t.Fatalf("unwound records = %d", len(recs))
+	}
+}
+
+func ids(docs []docstore.Document) []any {
+	var out []any
+	for _, d := range docs {
+		out = append(out, d["_id"])
+	}
+	return out
+}
+
+func TestScoreSummariesSurviveRoundTrip(t *testing.T) {
+	db := buildScoredStore(t)
+	ds, err := FromDocDB(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip again: summaries are recomputed from the restored maps.
+	db2 := ds.ToDocDB()
+	a := db.Collection(ClustersCollection).Get("TYPO")["plausibility"].(float64)
+	b := db2.Collection(ClustersCollection).Get("TYPO")["plausibility"].(float64)
+	if a != b {
+		t.Errorf("plausibility drifted across round trip: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/voter"
+)
+
+func TestImportSnapshotFileMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	cfg := synth.DefaultConfig(17, 150)
+	cfg.Snapshots = synth.Calendar(2008, 3)
+	paths, err := synth.WriteAll(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streamed := NewDataset(RemoveTrimmed)
+	var streamedStats []ImportStats
+	for _, p := range paths {
+		st, err := streamed.ImportSnapshotFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamedStats = append(streamedStats, st)
+	}
+
+	loaded := NewDataset(RemoveTrimmed)
+	var loadedStats []ImportStats
+	for _, p := range paths {
+		snap, err := voter.ReadSnapshotFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loadedStats = append(loadedStats, loaded.ImportSnapshot(snap))
+	}
+
+	if streamed.NumRecords() != loaded.NumRecords() ||
+		streamed.NumClusters() != loaded.NumClusters() ||
+		streamed.NumPairs() != loaded.NumPairs() {
+		t.Fatalf("streamed %d/%d/%d vs loaded %d/%d/%d",
+			streamed.NumRecords(), streamed.NumClusters(), streamed.NumPairs(),
+			loaded.NumRecords(), loaded.NumClusters(), loaded.NumPairs())
+	}
+	for i := range streamedStats {
+		if streamedStats[i] != loadedStats[i] {
+			t.Errorf("stats %d differ: %+v vs %+v", i, streamedStats[i], loadedStats[i])
+		}
+	}
+}
+
+func TestImportLifecycleGuards(t *testing.T) {
+	d := NewDataset(RemoveTrimmed)
+	imp := d.BeginImport("2008-01-01")
+	imp.Close()
+	assertPanics(t, "double close", func() { imp.Close() })
+	assertPanics(t, "add after close", func() { imp.Add(voter.NewRecord()) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestImportSnapshotFileMissing(t *testing.T) {
+	d := NewDataset(RemoveTrimmed)
+	if _, err := d.ImportSnapshotFile("/does/not/exist.tsv"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

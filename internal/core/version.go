@@ -1,0 +1,110 @@
+package core
+
+import "repro/internal/voter"
+
+// Reconstruction of earlier dataset states (§5.1.2): because no record is
+// ever removed, the dataset grows monotonically and any past version is the
+// subset of records whose first-version field does not exceed it. Snapshot
+// ranges are reconstructed from the per-record snapshot-date arrays.
+
+// ReconstructVersion returns a read-only view containing exactly the records
+// of the given published version: every record whose FirstVersion <= v.
+// Clusters that had no record yet are absent. Version-similarity maps are
+// filtered to versions <= v, so past scores reproduce exactly.
+func (d *Dataset) ReconstructVersion(v int) *Dataset {
+	return d.filter(func(e RecordEntry) bool { return e.FirstVersion <= v })
+}
+
+// SnapshotRange returns a read-only view limited to records that occurred in
+// at least one snapshot with from <= date <= to (dates compare
+// lexicographically in ISO form). This is the paper's "arbitrary subset of
+// snapshots" use case.
+func (d *Dataset) SnapshotRange(from, to string) *Dataset {
+	return d.filter(func(e RecordEntry) bool {
+		for _, s := range e.Snapshots {
+			if s >= from && s <= to {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// filter builds a view dataset with the records passing keep. Views share
+// the underlying voter.Record values (which are never mutated) but own their
+// cluster bookkeeping. Import statistics and pending state are not carried
+// over; the view is for analysis, not further import.
+func (d *Dataset) filter(keep func(RecordEntry) bool) *Dataset {
+	out := NewDataset(d.Mode)
+	for _, id := range d.order {
+		c := d.clusters[id]
+		var kept []RecordEntry
+		keptIdx := make([]int, 0, len(c.Records))
+		for i, e := range c.Records {
+			if keep(e) {
+				kept = append(kept, e)
+				keptIdx = append(keptIdx, i)
+			}
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		nc := &Cluster{
+			NCID:     c.NCID,
+			Records:  kept,
+			Inserted: c.Inserted,
+			SimMaps:  remapSims(c.SimMaps, keptIdx),
+			hashes:   map[voter.Hash]int{},
+		}
+		for i, e := range nc.Records {
+			if _, dup := nc.hashes[e.Hash]; !dup {
+				nc.hashes[e.Hash] = i
+			}
+		}
+		out.clusters[c.NCID] = nc
+		out.order = append(out.order, c.NCID)
+	}
+	out.totalRows = out.NumRecords()
+	// Carry published versions so nested reconstruction stays meaningful.
+	out.versions = append(out.versions, d.versions...)
+	return out
+}
+
+// remapSims rewrites a cluster's version-similarity maps onto the new
+// record indices keptIdx (old index -> position in keptIdx). Pairs with a
+// removed endpoint are dropped.
+func remapSims(sims map[string]VersionSimMap, keptIdx []int) map[string]VersionSimMap {
+	newIdx := map[int]int{}
+	for ni, oi := range keptIdx {
+		newIdx[oi] = ni
+	}
+	out := make(map[string]VersionSimMap, len(sims))
+	for kind, vm := range sims {
+		nvm := VersionSimMap{}
+		for version, byI := range vm {
+			for i, byJ := range byI {
+				ni, ok := newIdx[i]
+				if !ok {
+					continue
+				}
+				for j, score := range byJ {
+					nj, ok := newIdx[j]
+					if !ok {
+						continue
+					}
+					m := nvm[version]
+					if m == nil {
+						m = map[int]map[int]float64{}
+						nvm[version] = m
+					}
+					if m[ni] == nil {
+						m[ni] = map[int]float64{}
+					}
+					m[ni][nj] = score
+				}
+			}
+		}
+		out[kind] = nvm
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/corrupt"
+)
+
+// The company-register domain: the reference instance of the generalized
+// procedure. A commercial register publishes yearly snapshots of companies
+// under a stable registration number; companies rebrand, convert legal
+// forms, relocate and change officers, and filings are entered manually —
+// the same shape as the voter register in a different domain.
+
+// CompanySchema is the register's 12-attribute schema.
+func CompanySchema() Schema {
+	return Schema{
+		Name: "companies",
+		Attrs: []string{
+			"legal_name", "trade_name", "legal_form", "street", "city",
+			"zip", "phone", "industry_code", "industry_desc", "officer",
+			"founded", "status",
+		},
+		// snapshot-independent schema: only the status is volatile (it
+		// flips to DISSOLVED without the company itself changing).
+		Volatile:  []int{11},
+		NameAttrs: []int{0, 1},
+	}
+}
+
+var (
+	companyCores = []string{
+		"ATLAS", "PIONEER", "SUMMIT", "HARBOR", "CASCADE", "MERIDIAN",
+		"BLUE RIDGE", "PIEDMONT", "CAROLINA", "TRIANGLE", "CRESCENT",
+		"LIBERTY", "HERITAGE", "KEYSTONE", "STERLING", "GRANITE", "BEACON",
+		"HORIZON", "APEX", "CARDINAL", "LONGLEAF", "RIVERSIDE", "OAKWOOD",
+	}
+	companyLines = []string{
+		"LOGISTICS", "FOODS", "TEXTILES", "SOFTWARE", "CONSTRUCTION",
+		"FURNITURE", "PHARMA", "ANALYTICS", "ROBOTICS", "PACKAGING",
+		"CONSULTING", "ENERGY", "PRINTING", "MACHINERY", "SEAFOOD",
+	}
+	legalForms = []string{"INC", "LLC", "CORP", "LP", "PLLC"}
+	industries = []struct{ code, desc string }{
+		{"4841", "GENERAL FREIGHT TRUCKING"},
+		{"3118", "BAKERIES AND TORTILLA MANUFACTURING"},
+		{"5112", "SOFTWARE PUBLISHERS"},
+		{"2362", "NONRESIDENTIAL BUILDING CONSTRUCTION"},
+		{"3371", "HOUSEHOLD FURNITURE MANUFACTURING"},
+		{"3254", "PHARMACEUTICAL MANUFACTURING"},
+		{"5416", "MANAGEMENT CONSULTING SERVICES"},
+		{"2211", "ELECTRIC POWER GENERATION"},
+		{"3231", "PRINTING AND RELATED SUPPORT"},
+		{"3331", "AG AND CONSTRUCTION MACHINERY"},
+	}
+	companyCities = []string{
+		"RALEIGH", "CHARLOTTE", "DURHAM", "GREENSBORO", "WILMINGTON",
+		"ASHEVILLE", "CARY", "CONCORD", "HICKORY", "BOONE",
+	}
+	companyStreets = []string{
+		"COMMERCE BLVD", "INDUSTRIAL DR", "TRADE ST", "MARKET ST",
+		"ENTERPRISE WAY", "CORPORATE PKWY", "MAIN ST", "DEPOT RD",
+	}
+	officerFirst = []string{"JAMES", "MARY", "ROBERT", "LINDA", "DAVID", "SUSAN", "CARLOS", "ANNE"}
+	officerLast  = []string{"SMITH", "JOHNSON", "LEE", "PATEL", "GARCIA", "MILLER", "NGUYEN", "BROWN"}
+)
+
+// company is one simulated business's ground truth.
+type company struct {
+	id       string
+	core     string
+	line     string
+	form     string
+	street   string
+	houseNum string
+	city     string
+	zip      string
+	phone    string
+	indIdx   int
+	officer  string
+	founded  int
+	active   bool
+	stored   []string // last filed values with entry errors
+}
+
+// CompanyConfig parameterizes the register simulation.
+type CompanyConfig struct {
+	Seed       int64
+	Initial    int      // companies in the first snapshot
+	Snapshots  []string // snapshot dates
+	NewRate    float64  // new registrations per snapshot (fraction of active)
+	RefileRate float64  // fresh manual filing per snapshot
+	RenameRate float64  // rebrand (trade name changes)
+	MoveRate   float64
+	OfficerRT  float64 // officer change rate
+	DissolveRT float64
+	Errors     ErrorRates
+}
+
+// ErrorRates are the manual-filing error probabilities per value.
+type ErrorRates struct {
+	Typo      float64
+	Abbrev    float64
+	Drop      float64
+	Format    float64
+	Case      float64
+	Transpose float64
+}
+
+// DefaultCompanyConfig mirrors the voter defaults at register scale.
+func DefaultCompanyConfig(seed int64, initial, years int) CompanyConfig {
+	dates := make([]string, years)
+	for i := range dates {
+		dates[i] = fmt.Sprintf("%04d-01-01", 2010+i)
+	}
+	return CompanyConfig{
+		Seed:       seed,
+		Initial:    initial,
+		Snapshots:  dates,
+		NewRate:    0.05,
+		RefileRate: 0.15,
+		RenameRate: 0.02,
+		MoveRate:   0.04,
+		OfficerRT:  0.05,
+		DissolveRT: 0.02,
+		Errors: ErrorRates{
+			Typo: 0.03, Abbrev: 0.03, Drop: 0.02,
+			Format: 0.02, Case: 0.02, Transpose: 0.01,
+		},
+	}
+}
+
+// GenerateCompanies simulates the register and returns its snapshots.
+func GenerateCompanies(cfg CompanyConfig) []Snapshot {
+	rng := rand.New(rand.NewSource(corrupt.SubSeed(cfg.Seed, 40)))
+	var companies []*company
+	nextID := 0
+
+	newCompany := func(year int) *company {
+		nextID++
+		c := &company{
+			id:      fmt.Sprintf("REG%06d", nextID),
+			core:    companyCores[rng.Intn(len(companyCores))],
+			line:    companyLines[rng.Intn(len(companyLines))],
+			form:    legalForms[rng.Intn(len(legalForms))],
+			indIdx:  rng.Intn(len(industries)),
+			founded: year - rng.Intn(30),
+			active:  true,
+		}
+		c.street = companyStreets[rng.Intn(len(companyStreets))]
+		c.houseNum = strconv.Itoa(100 + rng.Intn(9000))
+		c.city = companyCities[rng.Intn(len(companyCities))]
+		c.zip = strconv.Itoa(27000 + rng.Intn(2000))
+		c.phone = fmt.Sprintf("%03d%07d", 300+rng.Intn(600), rng.Intn(1e7))
+		c.officer = officerFirst[rng.Intn(len(officerFirst))] + " " + officerLast[rng.Intn(len(officerLast))]
+		return c
+	}
+
+	var snaps []Snapshot
+	for si, date := range cfg.Snapshots {
+		year := 2010 + si
+		if si == 0 {
+			for i := 0; i < cfg.Initial; i++ {
+				c := newCompany(year)
+				companies = append(companies, c)
+			}
+		} else {
+			active := 0
+			for _, c := range companies {
+				if !c.active {
+					continue
+				}
+				active++
+				switch {
+				case rng.Float64() < cfg.DissolveRT:
+					c.active = false
+				case rng.Float64() < cfg.RenameRate:
+					c.core = companyCores[rng.Intn(len(companyCores))]
+					c.stored = nil // force a fresh filing
+				case rng.Float64() < cfg.MoveRate:
+					c.street = companyStreets[rng.Intn(len(companyStreets))]
+					c.houseNum = strconv.Itoa(100 + rng.Intn(9000))
+					if rng.Float64() < 0.4 {
+						c.city = companyCities[rng.Intn(len(companyCities))]
+						c.zip = strconv.Itoa(27000 + rng.Intn(2000))
+					}
+					c.stored = nil
+				case rng.Float64() < cfg.OfficerRT:
+					c.officer = officerFirst[rng.Intn(len(officerFirst))] + " " + officerLast[rng.Intn(len(officerLast))]
+					c.stored = nil
+				case rng.Float64() < cfg.RefileRate:
+					c.stored = nil
+				}
+			}
+			for i := 0; i < int(float64(active)*cfg.NewRate); i++ {
+				companies = append(companies, newCompany(year))
+			}
+		}
+
+		snap := Snapshot{Date: date}
+		for _, c := range companies {
+			if c.stored == nil {
+				fileCompany(rng, cfg.Errors, c)
+			}
+			vals := append([]string(nil), c.stored...)
+			if c.active {
+				vals[11] = "ACTIVE"
+			} else {
+				vals[11] = "DISSOLVED"
+			}
+			snap.Records = append(snap.Records, Record{ObjectID: c.id, Values: vals})
+		}
+		snaps = append(snaps, snap)
+	}
+	return snaps
+}
+
+// fileCompany renders a fresh manual filing with entry errors; the status
+// (column 11) and founding year stay clean — they are register-derived.
+func fileCompany(rng *rand.Rand, e ErrorRates, c *company) {
+	legal := c.core + " " + c.line + " " + c.form
+	trade := c.core + " " + c.line
+	vals := []string{
+		legal, trade, c.form, c.houseNum + " " + c.street, c.city,
+		c.zip, c.phone, industries[c.indIdx].code, industries[c.indIdx].desc,
+		c.officer, strconv.Itoa(c.founded), "",
+	}
+	for i := 0; i < 10; i++ {
+		v := vals[i]
+		if v == "" {
+			continue
+		}
+		if rng.Float64() < e.Typo {
+			v = corrupt.Typo(rng, v)
+		}
+		if rng.Float64() < e.Abbrev && (i == 2 || i == 9) {
+			v = corrupt.Abbreviate(rng, v)
+		}
+		if rng.Float64() < e.Drop {
+			v = corrupt.DropToken(rng, v)
+		}
+		if rng.Float64() < e.Format {
+			v = corrupt.FormatNoise(rng, v)
+		}
+		if rng.Float64() < e.Case {
+			v = corrupt.CaseNoise(rng, v)
+		}
+		if rng.Float64() < e.Transpose {
+			v = corrupt.TransposeTokens(rng, v)
+		}
+		vals[i] = v
+	}
+	c.stored = vals
+}

@@ -1,0 +1,247 @@
+// Package corpus generalizes the paper's procedure beyond voter data — its
+// first future-work direction (§8: "apply it to historical corpora from
+// other domains"). A historical corpus is any snapshot series of records
+// with a stable object id; the generic pipeline deduplicates near-exact
+// rows by hashing (dates and other volatile columns excluded, §4),
+// groups records into labeled clusters, tracks per-snapshot statistics,
+// scores heterogeneity with entropy weights, and exports labeled datasets
+// for the detection substrate.
+//
+// The voter pipeline in internal/core remains the full-featured
+// implementation (versioning, document storage, plausibility); this package
+// is the schema-agnostic distillation that new domains start from. A
+// company-register domain ships as the reference instance.
+package corpus
+
+import (
+	"crypto/md5"
+	"fmt"
+	"strings"
+
+	"repro/internal/dedup"
+	"repro/internal/hetero"
+)
+
+// Schema describes a corpus domain.
+type Schema struct {
+	Name  string
+	Attrs []string
+	// Volatile marks columns excluded from near-exact hashing (snapshot
+	// dates, ages, sequence numbers — anything that changes without the
+	// object changing).
+	Volatile []int
+	// NameAttrs marks columns whose values get confused with one another;
+	// exported datasets carry them for the matcher's 1:1 name matching.
+	NameAttrs []int
+}
+
+// volatileSet returns the volatile columns as a set.
+func (s Schema) volatileSet() map[int]bool {
+	m := make(map[int]bool, len(s.Volatile))
+	for _, v := range s.Volatile {
+		m[v] = true
+	}
+	return m
+}
+
+// Record is one corpus row: a stable object id plus one value per schema
+// attribute.
+type Record struct {
+	ObjectID string
+	Values   []string
+}
+
+// Snapshot is one corpus publication.
+type Snapshot struct {
+	Date    string
+	Records []Record
+}
+
+// ImportStats mirrors the voter pipeline's per-snapshot statistics.
+type ImportStats struct {
+	Snapshot   string
+	Rows       int
+	NewRecords int
+	NewObjects int
+}
+
+// Cluster groups the deduplicated records of one object.
+type Cluster struct {
+	ObjectID string
+	Records  []Record
+	// Snapshots lists, per record, the snapshot dates that contained it.
+	Snapshots [][]string
+
+	hashes map[[md5.Size]byte]int
+}
+
+// Dataset is the generic labeled test dataset under construction.
+type Dataset struct {
+	Schema   Schema
+	clusters map[string]*Cluster
+	order    []string
+	imports  []ImportStats
+	volatile map[int]bool
+	total    int
+}
+
+// NewDataset returns an empty dataset over the schema.
+func NewDataset(schema Schema) *Dataset {
+	return &Dataset{
+		Schema:   schema,
+		clusters: map[string]*Cluster{},
+		volatile: schema.volatileSet(),
+	}
+}
+
+// hashRecord hashes the trimmed non-volatile values.
+func (d *Dataset) hashRecord(r Record) [md5.Size]byte {
+	h := md5.New()
+	for i, v := range r.Values {
+		if d.volatile[i] {
+			continue
+		}
+		h.Write([]byte(strings.TrimSpace(v)))
+		h.Write([]byte{0x1f})
+	}
+	var out [md5.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// ImportSnapshot feeds one snapshot through trimmed near-exact removal.
+func (d *Dataset) ImportSnapshot(s Snapshot) (ImportStats, error) {
+	st := ImportStats{Snapshot: s.Date, Rows: len(s.Records)}
+	for ri, r := range s.Records {
+		if len(r.Values) != len(d.Schema.Attrs) {
+			return st, fmt.Errorf("corpus: %s record %d has %d values, want %d",
+				s.Date, ri, len(r.Values), len(d.Schema.Attrs))
+		}
+		d.total++
+		if r.ObjectID == "" {
+			continue
+		}
+		c, ok := d.clusters[r.ObjectID]
+		if !ok {
+			c = &Cluster{ObjectID: r.ObjectID, hashes: map[[md5.Size]byte]int{}}
+			d.clusters[r.ObjectID] = c
+			d.order = append(d.order, r.ObjectID)
+			st.NewObjects++
+		}
+		h := d.hashRecord(r)
+		if idx, seen := c.hashes[h]; seen {
+			if n := len(c.Snapshots[idx]); n == 0 || c.Snapshots[idx][n-1] != s.Date {
+				c.Snapshots[idx] = append(c.Snapshots[idx], s.Date)
+			}
+			continue
+		}
+		st.NewRecords++
+		c.hashes[h] = len(c.Records)
+		c.Records = append(c.Records, r)
+		c.Snapshots = append(c.Snapshots, []string{s.Date})
+	}
+	d.imports = append(d.imports, st)
+	return st, nil
+}
+
+// Imports returns the per-snapshot statistics.
+func (d *Dataset) Imports() []ImportStats { return d.imports }
+
+// NumClusters returns the object count.
+func (d *Dataset) NumClusters() int { return len(d.clusters) }
+
+// NumRecords returns the deduplicated record count.
+func (d *Dataset) NumRecords() int {
+	n := 0
+	for _, c := range d.clusters {
+		n += len(c.Records)
+	}
+	return n
+}
+
+// NumPairs returns the duplicate-pair count.
+func (d *Dataset) NumPairs() int {
+	n := 0
+	for _, c := range d.clusters {
+		n += len(c.Records) * (len(c.Records) - 1) / 2
+	}
+	return n
+}
+
+// TotalRows returns all rows ever offered.
+func (d *Dataset) TotalRows() int { return d.total }
+
+// Clusters visits the clusters in first-seen order.
+func (d *Dataset) Clusters(fn func(*Cluster) bool) {
+	for _, id := range d.order {
+		if !fn(d.clusters[id]) {
+			return
+		}
+	}
+}
+
+// Cluster returns one cluster by object id, or nil.
+func (d *Dataset) Cluster(id string) *Cluster { return d.clusters[id] }
+
+// Weights returns the schema's entropy weights from one record per cluster
+// (§6.3 carried over).
+func (d *Dataset) Weights() []float64 {
+	var reps [][]string
+	d.Clusters(func(c *Cluster) bool {
+		reps = append(reps, trimmedValues(c.Records[0].Values))
+		return true
+	})
+	return hetero.EntropyWeightsFromRows(reps)
+}
+
+// ClusterHeterogeneity returns the mean pair heterogeneity of each
+// multi-record cluster, in cluster order.
+func (d *Dataset) ClusterHeterogeneity() []float64 {
+	weights := d.Weights()
+	var out []float64
+	d.Clusters(func(c *Cluster) bool {
+		n := len(c.Records)
+		if n < 2 {
+			return true
+		}
+		sum, pairs := 0.0, 0
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				sum += hetero.Heterogeneity(
+					trimmedValues(c.Records[i].Values),
+					trimmedValues(c.Records[j].Values), weights)
+				pairs++
+			}
+		}
+		out = append(out, sum/float64(pairs))
+		return true
+	})
+	return out
+}
+
+// Export renders the dataset for the detection substrate.
+func (d *Dataset) Export() *dedup.Dataset {
+	out := &dedup.Dataset{
+		Name:      d.Schema.Name,
+		Attrs:     d.Schema.Attrs,
+		NameAttrs: append([]int(nil), d.Schema.NameAttrs...),
+	}
+	cid := 0
+	d.Clusters(func(c *Cluster) bool {
+		for _, r := range c.Records {
+			out.Records = append(out.Records, trimmedValues(r.Values))
+			out.ClusterOf = append(out.ClusterOf, cid)
+		}
+		cid++
+		return true
+	})
+	return out
+}
+
+func trimmedValues(vals []string) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = strings.TrimSpace(v)
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+// Package corrupt provides deterministic error-injection primitives: the
+// realistic data-quality problems the paper finds in manually entered voter
+// registrations (§6.4) — typos, OCR confusions, phonetic respellings,
+// abbreviations, prefix/postfix truncations, formatting drift, token
+// transpositions, value confusions between attributes, integrated and
+// scattered values, missing values and outliers — plus a configurable
+// Corruptor that applies a chosen error mix to whole records.
+//
+// Everything is driven by explicit *rand.Rand sources so the same seed
+// reproduces the same corrupted dataset byte for byte.
+package corrupt
+
+import "math/rand"
+
+// splitmix64 advances and mixes a 64-bit state; used to derive independent
+// sub-stream seeds from one master seed.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SubSeed derives the n-th independent sub-seed from a master seed, so each
+// component of the generator can own its stream without cross-talk.
+func SubSeed(master int64, n int) int64 {
+	s := uint64(master)
+	var v uint64
+	for i := 0; i <= n; i++ {
+		v = splitmix64(&s)
+	}
+	return int64(v)
+}
+
+// NewRand returns a deterministic source for the n-th sub-stream of master.
+func NewRand(master int64, n int) *rand.Rand {
+	return rand.New(rand.NewSource(SubSeed(master, n)))
+}

@@ -1,0 +1,153 @@
+// Package dapo implements the paper's main future-work direction (§8):
+// combining the historical-data approach with a scalable data-pollution
+// tool, "to unite the strengths of having real outdated values and being
+// able to inject additional errors at will". It takes an existing test
+// dataset built by the core pipeline — whose duplicates carry genuine
+// outdated values — and injects additional synthetic errors and extra
+// duplicate records on top, preserving the gold standard exactly.
+//
+// Pollution never mutates its input: it derives a new dataset, so earlier
+// evaluations stay reproducible (§5.1.2 carries over).
+package dapo
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/corrupt"
+	"repro/internal/voter"
+)
+
+// Config parameterizes one pollution run.
+type Config struct {
+	Seed int64
+	// Errors is the per-record error mix injected into polluted records.
+	Errors corrupt.Config
+	// RecordFraction is the fraction of existing records receiving
+	// additional errors.
+	RecordFraction float64
+	// Intensity applies the error mix this many times per polluted record
+	// (dirtier output for the same mix).
+	Intensity int
+	// ExtraDuplicateRate adds, per cluster, a corrupted copy of a random
+	// record with this probability (a purely synthetic fuzzy duplicate on
+	// top of the real ones).
+	ExtraDuplicateRate float64
+	// MaxExtraPerCluster caps the synthetic additions per cluster
+	// (default 1 when zero and ExtraDuplicateRate > 0).
+	MaxExtraPerCluster int
+	// Workers sizes the worker pool; <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig pollutes a quarter of all records with the heavy error mix
+// and adds an extra duplicate to every fifth cluster.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:               seed,
+		Errors:             corrupt.Heavy(),
+		RecordFraction:     0.25,
+		Intensity:          1,
+		ExtraDuplicateRate: 0.2,
+		MaxExtraPerCluster: 1,
+	}
+}
+
+// Stats reports what a pollution run did.
+type Stats struct {
+	Clusters        int
+	Records         int // records in the polluted output
+	PollutedRecords int // existing records that received extra errors
+	ExtraDuplicates int // synthetic duplicate records added
+}
+
+// Pollute derives a polluted dataset from d. The gold standard (cluster
+// membership) is preserved; version-similarity maps are not carried over —
+// scores must be recomputed on the polluted data, since pollution changes
+// them by design. The derived records start at version 1 of the new
+// dataset.
+func Pollute(d *core.Dataset, cfg Config) (*core.Dataset, Stats) {
+	if cfg.Intensity < 1 {
+		cfg.Intensity = 1
+	}
+	if cfg.MaxExtraPerCluster == 0 && cfg.ExtraDuplicateRate > 0 {
+		cfg.MaxExtraPerCluster = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	ids := d.NCIDs()
+	type clusterResult struct {
+		idx      int
+		records  []voter.Record
+		polluted int
+		extra    int
+	}
+	results := make([]clusterResult, len(ids))
+
+	var wg sync.WaitGroup
+	jobs := make(chan int, workers*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				// A per-cluster random stream keyed by the cluster index
+				// makes the output independent of goroutine scheduling.
+				rng := rand.New(rand.NewSource(corrupt.SubSeed(cfg.Seed, idx+1)))
+				corr := corrupt.NewCorruptor(cfg.Errors, rng)
+				c := d.Cluster(ids[idx])
+				res := clusterResult{idx: idx}
+				for _, e := range c.Records {
+					r := e.Rec.Clone()
+					if rng.Float64() < cfg.RecordFraction {
+						for i := 0; i < cfg.Intensity; i++ {
+							corr.Apply(&r)
+						}
+						res.polluted++
+					}
+					res.records = append(res.records, r)
+				}
+				for extra := 0; extra < cfg.MaxExtraPerCluster; extra++ {
+					if rng.Float64() >= cfg.ExtraDuplicateRate {
+						break
+					}
+					src := res.records[rng.Intn(len(res.records))].Clone()
+					for i := 0; i < cfg.Intensity; i++ {
+						corr.Apply(&src)
+					}
+					res.records = append(res.records, src)
+					res.extra++
+				}
+				results[idx] = res
+			}
+		}()
+	}
+	for idx := range ids {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	var st Stats
+	// Rebuild through a single synthetic snapshot import so the derived
+	// dataset carries consistent hashes and reproducibility metadata. The
+	// removal mode is RemoveNone because pollution may legitimately create
+	// colliding rows that must all survive.
+	snap := voter.Snapshot{Date: "polluted"}
+	for _, res := range results {
+		st.PollutedRecords += res.polluted
+		st.ExtraDuplicates += res.extra
+		snap.Records = append(snap.Records, res.records...)
+	}
+	out := core.NewDataset(core.RemoveNone)
+	out.ImportSnapshot(snap)
+	out.Publish()
+	st.Clusters = out.NumClusters()
+	st.Records = out.NumRecords()
+	return out, st
+}

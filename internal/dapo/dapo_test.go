@@ -1,0 +1,138 @@
+package dapo
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hetero"
+	"repro/internal/synth"
+)
+
+// buildInput generates a small historical dataset.
+func buildInput(t *testing.T) *core.Dataset {
+	t.Helper()
+	cfg := synth.DefaultConfig(4, 200)
+	cfg.Snapshots = synth.Calendar(2008, 4)
+	d := core.NewDataset(core.RemoveTrimmed)
+	for _, s := range synth.Generate(cfg) {
+		d.ImportSnapshot(s)
+	}
+	d.Publish()
+	return d
+}
+
+func TestPollutePreservesGoldStandard(t *testing.T) {
+	d := buildInput(t)
+	out, st := Pollute(d, DefaultConfig(1))
+	if st.Clusters != d.NumClusters() {
+		t.Errorf("clusters = %d, want %d (pollution must never change cluster membership)",
+			st.Clusters, d.NumClusters())
+	}
+	if out.NumRecords() < d.NumRecords() {
+		t.Errorf("records shrank: %d -> %d", d.NumRecords(), out.NumRecords())
+	}
+	if st.ExtraDuplicates != out.NumRecords()-d.NumRecords() {
+		t.Errorf("extra duplicates = %d, delta = %d", st.ExtraDuplicates, out.NumRecords()-d.NumRecords())
+	}
+	// Every output NCID exists in the input.
+	for _, id := range out.NCIDs() {
+		if d.Cluster(id) == nil {
+			t.Fatalf("pollution invented cluster %s", id)
+		}
+	}
+	// Every record keeps its cluster's NCID.
+	out.Clusters(func(c *core.Cluster) bool {
+		for _, e := range c.Records {
+			if e.Rec.NCID() != c.NCID {
+				t.Fatalf("record NCID %s in cluster %s", e.Rec.NCID(), c.NCID)
+			}
+		}
+		return true
+	})
+}
+
+func TestPolluteDoesNotMutateInput(t *testing.T) {
+	d := buildInput(t)
+	before := map[string]string{}
+	d.Clusters(func(c *core.Cluster) bool {
+		for i, e := range c.Records {
+			before[c.NCID+string(rune(i))] = e.Rec.GetName("last_name") + "|" + e.Rec.GetName("first_name")
+		}
+		return true
+	})
+	Pollute(d, DefaultConfig(2))
+	d.Clusters(func(c *core.Cluster) bool {
+		for i, e := range c.Records {
+			if before[c.NCID+string(rune(i))] != e.Rec.GetName("last_name")+"|"+e.Rec.GetName("first_name") {
+				t.Fatalf("pollution mutated the input dataset at %s[%d]", c.NCID, i)
+			}
+		}
+		return true
+	})
+}
+
+func TestPolluteIncreasesHeterogeneity(t *testing.T) {
+	d := buildInput(t)
+	hetero.Update(d)
+	baseHet := mean(hetero.ClusterHeterogeneity(d, core.KindHeteroPerson))
+
+	cfg := DefaultConfig(3)
+	cfg.RecordFraction = 0.8
+	cfg.Intensity = 2
+	out, st := Pollute(d, cfg)
+	if st.PollutedRecords == 0 {
+		t.Fatal("nothing was polluted at RecordFraction 0.8")
+	}
+	hetero.Update(out)
+	polHet := mean(hetero.ClusterHeterogeneity(out, core.KindHeteroPerson))
+	if polHet <= baseHet {
+		t.Errorf("pollution did not increase heterogeneity: %v -> %v", baseHet, polHet)
+	}
+}
+
+func TestPolluteDeterministicAcrossWorkerCounts(t *testing.T) {
+	d := buildInput(t)
+	cfg := DefaultConfig(5)
+	cfg.Workers = 1
+	a, _ := Pollute(d, cfg)
+	cfg.Workers = 8
+	b, _ := Pollute(d, cfg)
+	if a.NumRecords() != b.NumRecords() {
+		t.Fatalf("worker count changed output size: %d vs %d", a.NumRecords(), b.NumRecords())
+	}
+	for _, id := range a.NCIDs() {
+		ca, cb := a.Cluster(id), b.Cluster(id)
+		if len(ca.Records) != len(cb.Records) {
+			t.Fatalf("cluster %s size differs", id)
+		}
+		for i := range ca.Records {
+			for j := range ca.Records[i].Rec.Values {
+				if ca.Records[i].Rec.Values[j] != cb.Records[i].Rec.Values[j] {
+					t.Fatalf("cluster %s record %d column %d differs across worker counts", id, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPolluteZeroConfigIsCopy(t *testing.T) {
+	d := buildInput(t)
+	out, st := Pollute(d, Config{Seed: 1})
+	if st.PollutedRecords != 0 || st.ExtraDuplicates != 0 {
+		t.Errorf("zero config polluted something: %+v", st)
+	}
+	if out.NumRecords() != d.NumRecords() {
+		t.Errorf("zero config changed record count")
+	}
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

@@ -1,0 +1,62 @@
+package datasets
+
+import (
+	"math/rand"
+	"strconv"
+
+	"repro/internal/corrupt"
+	"repro/internal/dedup"
+)
+
+// censusAttrs is the 6-attribute person schema of the Census benchmark.
+var censusAttrs = []string{
+	"last_name", "first_name", "middle_init", "house_num", "street", "zip",
+}
+
+// censusClusterSizes approximates the published distribution: 483 clusters,
+// 841 records, max cluster size 4, average 1.74, 345 non-singletons and 376
+// duplicate pairs (Table 3).
+func censusClusterSizes() []int {
+	var sizes []int
+	sizes = append(sizes, repeat(4, 4)...)  // 4 clusters of 4: 24 pairs
+	sizes = append(sizes, repeat(3, 19)...) // 19 clusters of 3: 57 pairs
+	sizes = append(sizes, repeat(2, 322)...)
+	sizes = append(sizes, repeat(1, 138)...)
+	return sizes
+}
+
+// Census generates the synthetic Census stand-in. Its hallmark error
+// profile (Table 4) is a very high typo rate: ~65 % of duplicate pairs
+// differ in the last name by edit distance 1, with frequent first-name
+// typos and prefix truncations as well.
+func Census(seed int64) *dedup.Dataset {
+	rng := corrupt.NewRand(seed, 21)
+	g := generator{
+		name:      "Census",
+		attrs:     censusAttrs,
+		nameAttrs: []int{0, 1},
+		original: func(rng *rand.Rand) []string {
+			return []string{
+				pick(rng, surnamePool),
+				pick(rng, givenPool),
+				string(rune('A' + rng.Intn(26))),
+				strconv.Itoa(1 + rng.Intn(999)),
+				pick(rng, streetPool),
+				strconv.Itoa(10000 + rng.Intn(89999)),
+			}
+		},
+		duplicate: func(rng *rand.Rand, rec []string) {
+			maybe(rng, 0.65, &rec[0], corrupt.Typo)
+			maybe(rng, 0.35, &rec[1], corrupt.Typo)
+			maybe(rng, 0.25, &rec[1], corrupt.TruncateTail)
+			if rng.Float64() < 0.3 {
+				rec[2] = "" // dropped middle initial
+			}
+			maybe(rng, 0.15, &rec[3], corrupt.Typo)
+			maybe(rng, 0.25, &rec[4], corrupt.Typo)
+			maybe(rng, 0.1, &rec[4], corrupt.DropToken)
+			maybe(rng, 0.08, &rec[5], corrupt.OCRError)
+		},
+	}
+	return g.build(rng, censusClusterSizes())
+}

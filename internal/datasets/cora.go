@@ -1,0 +1,133 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/corrupt"
+	"repro/internal/dedup"
+)
+
+// coraAttrs is the 17-attribute bibliographic schema of the Cora citation
+// benchmark.
+var coraAttrs = []string{
+	"authors", "title", "venue", "address", "publisher", "editor", "year",
+	"volume", "pages", "month", "note", "institution", "journal",
+	"booktitle", "tech", "type", "date",
+}
+
+// coraClusterSizes approximates Cora's published duplicate distribution:
+// 182 clusters, 1879 records, up to 238 records per cluster, average 10.32
+// (Table 3 of the paper). The head is dominated by a handful of heavily
+// re-cited papers.
+func coraClusterSizes() []int {
+	head := []int{238, 155, 120, 92, 80, 70, 61, 52, 45, 40, 36, 32, 28, 25, 22, 20, 18, 17, 16, 15}
+	var sizes []int
+	sizes = append(sizes, head...)
+	sizes = append(sizes, repeat(12, 10)...)
+	sizes = append(sizes, repeat(8, 15)...)
+	sizes = append(sizes, repeat(5, 25)...)
+	sizes = append(sizes, repeat(3, 30)...)
+	sizes = append(sizes, repeat(2, 18)...)
+	sizes = append(sizes, repeat(1, 64)...)
+	return sizes
+}
+
+// Cora generates the synthetic Cora stand-in. Citations of the same paper
+// differ in venue abbreviations, dropped fields, page/volume noise and
+// author-list formatting — the error profile Table 4 reports (many missing
+// values, prefixes and formatting differences; moderate typos).
+func Cora(seed int64) *dedup.Dataset {
+	rng := corrupt.NewRand(seed, 20)
+	g := generator{
+		name:  "Cora",
+		attrs: coraAttrs,
+		original: func(rng *rand.Rand) []string {
+			authors := coraAuthors(rng)
+			title := words(rng, titleWords, 3+rng.Intn(4))
+			venue := pick(rng, venueWords)
+			year := strconv.Itoa(1985 + rng.Intn(14))
+			rec := make([]string, len(coraAttrs))
+			rec[0] = authors
+			rec[1] = title
+			rec[2] = venue
+			rec[3] = pick(rng, cityPool)
+			rec[4] = pick(rng, publisherPool)
+			rec[5] = ""
+			rec[6] = year
+			rec[7] = strconv.Itoa(1 + rng.Intn(30))
+			rec[8] = coraPages(rng)
+			rec[9] = pick(rng, []string{"january", "march", "june", "august", "october", ""})
+			rec[10] = ""
+			rec[11] = ""
+			rec[12] = ""
+			rec[13] = venue
+			rec[14] = ""
+			rec[15] = pick(rng, []string{"article", "inproceedings", "techreport"})
+			rec[16] = year
+			return rec
+		},
+		duplicate: func(rng *rand.Rand, rec []string) {
+			// Field dropping dominates: real Cora duplicates cite the same
+			// paper with wildly varying completeness.
+			for _, i := range []int{3, 4, 7, 8, 9, 13, 15, 16} {
+				if rng.Float64() < 0.18 {
+					rec[i] = ""
+				}
+			}
+			maybe(rng, 0.25, &rec[2], truncateVenue)
+			maybe(rng, 0.15, &rec[1], corrupt.Typo)
+			maybe(rng, 0.08, &rec[1], corrupt.TruncateTail)
+			maybe(rng, 0.15, &rec[0], reformatAuthors)
+			maybe(rng, 0.08, &rec[0], corrupt.DropToken)
+			maybe(rng, 0.08, &rec[0], corrupt.Typo)
+			maybe(rng, 0.15, &rec[8], corrupt.Typo)
+			maybe(rng, 0.08, &rec[6], corrupt.Typo)
+			maybe(rng, 0.15, &rec[1], corrupt.FormatNoise)
+		},
+	}
+	return g.build(rng, coraClusterSizes())
+}
+
+// coraAuthors renders an author list like "j. smith and r. k. jones".
+func coraAuthors(rng *rand.Rand) string {
+	n := 1 + rng.Intn(3)
+	parts := make([]string, n)
+	for i := range parts {
+		initial := strings.ToLower(pick(rng, givenPool)[:1])
+		last := strings.ToLower(pick(rng, surnamePool))
+		parts[i] = fmt.Sprintf("%s. %s", initial, last)
+	}
+	return strings.Join(parts, " and ")
+}
+
+// coraPages renders a page range like "123--145".
+func coraPages(rng *rand.Rand) string {
+	lo := 1 + rng.Intn(500)
+	return fmt.Sprintf("%d--%d", lo, lo+3+rng.Intn(40))
+}
+
+// truncateVenue abbreviates a long venue string to its first tokens — the
+// classic citation-style difference.
+func truncateVenue(rng *rand.Rand, v string) string {
+	tokens := strings.Fields(v)
+	if len(tokens) <= 2 {
+		return v
+	}
+	keep := 1 + rng.Intn(2)
+	return strings.Join(tokens[:keep], " ")
+}
+
+// reformatAuthors flips "j. smith and r. jones" into "smith, j. and jones, r.".
+func reformatAuthors(rng *rand.Rand, v string) string {
+	authors := strings.Split(v, " and ")
+	for i, a := range authors {
+		fields := strings.Fields(a)
+		if len(fields) == 2 {
+			authors[i] = fields[1] + ", " + fields[0]
+		}
+	}
+	return strings.Join(authors, " and ")
+}

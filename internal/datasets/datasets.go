@@ -1,0 +1,136 @@
+// Package datasets re-creates the three manually labeled comparator
+// datasets of the paper's evaluation (§6.1, Table 3) — Cora, Census and
+// CDDB — as synthetic equivalents matching their published characteristics:
+// record and attribute counts, duplicate-pair counts, cluster-size
+// distributions and error profiles (Table 4). The experiments only consume
+// these statistical properties, not the original strings, so the synthetic
+// stand-ins preserve the comparisons (see DESIGN.md §2).
+package datasets
+
+import (
+	"math/rand"
+
+	"repro/internal/corrupt"
+	"repro/internal/dedup"
+)
+
+// generator drives the shared cluster-then-corrupt construction.
+type generator struct {
+	name      string
+	attrs     []string
+	nameAttrs []int
+	original  func(rng *rand.Rand) []string
+	duplicate func(rng *rand.Rand, rec []string)
+}
+
+// build creates one dataset: for every cluster size in sizes, one original
+// record and size-1 corrupted copies.
+func (g generator) build(rng *rand.Rand, sizes []int) *dedup.Dataset {
+	ds := &dedup.Dataset{Name: g.name, Attrs: g.attrs, NameAttrs: g.nameAttrs}
+	for c, size := range sizes {
+		orig := g.original(rng)
+		ds.Records = append(ds.Records, orig)
+		ds.ClusterOf = append(ds.ClusterOf, c)
+		for d := 1; d < size; d++ {
+			rec := append([]string(nil), orig...)
+			g.duplicate(rng, rec)
+			ds.Records = append(ds.Records, rec)
+			ds.ClusterOf = append(ds.ClusterOf, c)
+		}
+	}
+	return ds
+}
+
+// repeat returns n copies of size.
+func repeat(size, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = size
+	}
+	return out
+}
+
+// word pools shared by the comparator generators.
+var (
+	surnamePool = []string{
+		"SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA", "MILLER",
+		"DAVIS", "RODRIGUEZ", "MARTINEZ", "WILSON", "ANDERSON", "TAYLOR",
+		"THOMAS", "MOORE", "JACKSON", "MARTIN", "LEE", "PEREZ", "THOMPSON",
+		"HARRIS", "SANCHEZ", "CLARK", "RAMIREZ", "LEWIS", "ROBINSON",
+		"WALKER", "YOUNG", "ALLEN", "KING", "WRIGHT", "SCOTT", "TORRES",
+		"NGUYEN", "HILL", "FLORES", "GREEN", "ADAMS", "NELSON", "BAKER",
+	}
+	givenPool = []string{
+		"JAMES", "MARY", "ROBERT", "PATRICIA", "JOHN", "JENNIFER", "MICHAEL",
+		"LINDA", "DAVID", "ELIZABETH", "WILLIAM", "BARBARA", "RICHARD",
+		"SUSAN", "JOSEPH", "JESSICA", "THOMAS", "SARAH", "CHARLES", "KAREN",
+		"CHRISTOPHER", "LISA", "DANIEL", "NANCY", "MATTHEW", "BETTY",
+		"ANTHONY", "MARGARET", "MARK", "SANDRA", "DONALD", "ASHLEY",
+	}
+	streetPool = []string{
+		"MAIN ST", "OAK AVE", "PARK RD", "CEDAR LN", "MAPLE DR", "ELM ST",
+		"WASHINGTON AVE", "LAKE DR", "HILL RD", "CHURCH ST", "MILL RD",
+		"WALNUT ST", "SPRING ST", "RIDGE RD", "FOREST AVE",
+	}
+	cityPool = []string{
+		"SPRINGFIELD", "FRANKLIN", "GREENVILLE", "BRISTOL", "CLINTON",
+		"FAIRVIEW", "SALEM", "MADISON", "GEORGETOWN", "ARLINGTON",
+	}
+	titleWords = []string{
+		"learning", "probabilistic", "networks", "reasoning", "inference",
+		"models", "bayesian", "analysis", "systems", "knowledge", "data",
+		"classification", "induction", "theory", "algorithms", "neural",
+		"decision", "trees", "logic", "planning", "search", "markov",
+		"reinforcement", "statistical", "adaptive", "genetic", "optimal",
+		"stochastic", "hidden", "temporal", "causal", "relational",
+	}
+	venueWords = []string{
+		"proceedings of the national conference on artificial intelligence",
+		"machine learning", "artificial intelligence",
+		"journal of artificial intelligence research",
+		"proceedings of the international conference on machine learning",
+		"advances in neural information processing systems",
+		"uncertainty in artificial intelligence", "aaai", "ijcai", "icml",
+	}
+	publisherPool = []string{
+		"morgan kaufmann", "mit press", "springer verlag", "academic press",
+		"aaai press", "kluwer", "elsevier", "wiley",
+	}
+	artistPool = []string{
+		"THE ROLLING STONES", "MILES DAVIS", "JOHNNY CASH", "ARETHA FRANKLIN",
+		"BOB DYLAN", "NINA SIMONE", "THE BEATLES", "ELLA FITZGERALD",
+		"DAVID BOWIE", "JONI MITCHELL", "STEVIE WONDER", "LED ZEPPELIN",
+		"PRINCE", "MADONNA", "RADIOHEAD", "NIRVANA", "JOHN COLTRANE",
+		"BILLIE HOLIDAY", "RAY CHARLES", "CHUCK BERRY",
+	}
+	albumWords = []string{
+		"LIVE", "GREATEST", "HITS", "BLUE", "NIGHT", "LOVE", "SOUL", "GOLD",
+		"DREAMS", "FIRE", "MOON", "RIVER", "HEART", "ROAD", "CITY", "TIME",
+		"SONGS", "STORIES", "SESSIONS", "COLLECTION", "VOLUME", "BEST",
+	}
+	genrePool = []string{"rock", "jazz", "blues", "folk", "soul", "pop", "country", "classical"}
+)
+
+func pick(rng *rand.Rand, pool []string) string { return pool[rng.Intn(len(pool))] }
+
+func words(rng *rand.Rand, pool []string, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += pick(rng, pool)
+	}
+	return out
+}
+
+// maybe applies one of the corrupt package's string transformations to *v
+// with probability p.
+func maybe(rng *rand.Rand, p float64, v *string, fn func(*rand.Rand, string) string) {
+	if rng.Float64() < p {
+		*v = fn(rng, *v)
+	}
+}
+
+// Sanity use of the corrupt import for files that only use it via maybe.
+var _ = corrupt.Typo

@@ -1,0 +1,158 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/dedup"
+)
+
+func TestCoraCharacteristics(t *testing.T) {
+	ds := Cora(1)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Attrs) != 17 {
+		t.Errorf("attrs = %d, want 17", len(ds.Attrs))
+	}
+	if got := ds.NumClusters(); got != 182 {
+		t.Errorf("clusters = %d, want 182", got)
+	}
+	if got := ds.NonSingletonClusters(); got != 118 {
+		t.Errorf("non-singletons = %d, want 118", got)
+	}
+	if got := ds.MaxClusterSize(); got != 238 {
+		t.Errorf("max cluster = %d, want 238", got)
+	}
+	if got := ds.NumRecords(); got < 1600 || got > 2000 {
+		t.Errorf("records = %d, want ~1879", got)
+	}
+	if got := ds.NumTruePairs(); got < 55000 || got > 75000 {
+		t.Errorf("pairs = %d, want ~64578", got)
+	}
+	if got := ds.AvgClusterSize(); got < 8.5 || got > 11.5 {
+		t.Errorf("avg cluster = %v, want ~10.32", got)
+	}
+}
+
+func TestCensusCharacteristics(t *testing.T) {
+	ds := Census(1)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Attrs) != 6 {
+		t.Errorf("attrs = %d, want 6", len(ds.Attrs))
+	}
+	if got := ds.NumClusters(); got != 483 {
+		t.Errorf("clusters = %d, want 483", got)
+	}
+	if got := ds.NonSingletonClusters(); got != 345 {
+		t.Errorf("non-singletons = %d, want 345", got)
+	}
+	if got := ds.MaxClusterSize(); got != 4 {
+		t.Errorf("max cluster = %d, want 4", got)
+	}
+	if got := ds.NumRecords(); got < 800 || got > 900 {
+		t.Errorf("records = %d, want ~841", got)
+	}
+	if got := ds.NumTruePairs(); got < 350 || got > 430 {
+		t.Errorf("pairs = %d, want ~376", got)
+	}
+	if got := ds.AvgClusterSize(); got < 1.6 || got > 1.9 {
+		t.Errorf("avg cluster = %v, want ~1.74", got)
+	}
+}
+
+func TestCDDBCharacteristics(t *testing.T) {
+	ds := CDDB(1)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Attrs) != 7 {
+		t.Errorf("attrs = %d, want 7", len(ds.Attrs))
+	}
+	if got := ds.NumClusters(); got != 9508 {
+		t.Errorf("clusters = %d, want 9508", got)
+	}
+	if got := ds.NonSingletonClusters(); got != 221 {
+		t.Errorf("non-singletons = %d, want 221", got)
+	}
+	if got := ds.MaxClusterSize(); got != 6 {
+		t.Errorf("max cluster = %d, want 6", got)
+	}
+	if got := ds.NumRecords(); got < 9700 || got > 9850 {
+		t.Errorf("records = %d, want ~9763", got)
+	}
+	if got := ds.NumTruePairs(); got < 280 || got > 360 {
+		t.Errorf("pairs = %d, want ~300", got)
+	}
+	if got := ds.AvgClusterSize(); got < 1.0 || got > 1.1 {
+		t.Errorf("avg cluster = %v, want ~1.03", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for name, gen := range map[string]func(int64) *dedup.Dataset{
+		"Cora": Cora, "Census": Census, "CDDB": CDDB,
+	} {
+		a, b := gen(7), gen(7)
+		if len(a.Records) != len(b.Records) {
+			t.Fatalf("%s: non-deterministic record count", name)
+		}
+		for i := range a.Records {
+			for j := range a.Records[i] {
+				if a.Records[i][j] != b.Records[i][j] {
+					t.Fatalf("%s: non-deterministic value at %d/%d", name, i, j)
+				}
+			}
+		}
+		c := gen(8)
+		if c.Records[0][0] == a.Records[0][0] && c.Records[0][1] == a.Records[0][1] {
+			t.Errorf("%s: different seeds gave identical first record", name)
+		}
+	}
+}
+
+func TestCensusTypoProfile(t *testing.T) {
+	// ~65 % of Census duplicate pairs must differ in the last name by a
+	// small edit (the dataset's hallmark from Table 4).
+	ds := Census(3)
+	typoPairs, pairs := 0, 0
+	for _, idx := range ds.Clusters() {
+		for x := 0; x < len(idx); x++ {
+			for y := x + 1; y < len(idx); y++ {
+				pairs++
+				if ds.Records[idx[x]][0] != ds.Records[idx[y]][0] {
+					typoPairs++
+				}
+			}
+		}
+	}
+	rate := float64(typoPairs) / float64(pairs)
+	if rate < 0.45 || rate > 0.9 {
+		t.Errorf("last-name difference rate = %v, want around 0.65", rate)
+	}
+}
+
+func TestCoraMissingValuesCommon(t *testing.T) {
+	ds := Cora(3)
+	missing, total := 0, 0
+	for _, r := range ds.Records {
+		for _, v := range r {
+			total++
+			if v == "" {
+				missing++
+			}
+		}
+	}
+	if rate := float64(missing) / float64(total); rate < 0.2 {
+		t.Errorf("missing-value rate = %v, want >= 0.2 (bibliographic sparsity)", rate)
+	}
+}
+
+func TestCDDBMostlySingletons(t *testing.T) {
+	ds := CDDB(3)
+	singles := ds.NumClusters() - ds.NonSingletonClusters()
+	if frac := float64(singles) / float64(ds.NumClusters()); frac < 0.95 {
+		t.Errorf("singleton fraction = %v, want >= 0.95", frac)
+	}
+}

@@ -1,0 +1,76 @@
+package dedup
+
+import "testing"
+
+func TestStandardBlockingSoundex(t *testing.T) {
+	ds := &Dataset{
+		Name:  "b",
+		Attrs: []string{"last", "zip"},
+		Records: [][]string{
+			{"BAILEY", "27701"},
+			{"BAYLEE", "27701"}, // same soundex as BAILEY
+			{"NGUYEN", "27513"},
+			{"NGUYEN", "27514"},
+			{"", "27513"}, // empty key never blocks
+		},
+		ClusterOf: []int{0, 0, 1, 1, 2},
+	}
+	pairs := StandardBlocking(ds, []KeyFunc{SoundexKey(0)}, 0)
+	want := map[Pair]bool{{0, 1}: true, {2, 3}: true}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for _, p := range pairs {
+		if !want[p] {
+			t.Errorf("unexpected pair %v", p)
+		}
+	}
+	if rec := BlockingRecall(ds, pairs); rec != 1 {
+		t.Errorf("recall = %v", rec)
+	}
+}
+
+func TestStandardBlockingMultiKeyUnion(t *testing.T) {
+	ds := &Dataset{
+		Name:  "b",
+		Attrs: []string{"last", "zip"},
+		Records: [][]string{
+			{"SMITH", "27701"},
+			{"SMYTH", "27999"}, // only the soundex key finds this
+			{"JONES", "27701"}, // only the zip key pairs this with SMITH
+		},
+		ClusterOf: []int{0, 0, 1},
+	}
+	pairs := StandardBlocking(ds, []KeyFunc{SoundexKey(0), ExactKey(1)}, 0)
+	seen := map[Pair]bool{}
+	for _, p := range pairs {
+		seen[p] = true
+	}
+	if !seen[Pair{0, 1}] || !seen[Pair{0, 2}] {
+		t.Errorf("union of keys missing pairs: %v", pairs)
+	}
+}
+
+func TestStandardBlockingMaxBlock(t *testing.T) {
+	ds := &Dataset{Name: "b", Attrs: []string{"k"}}
+	for i := 0; i < 10; i++ {
+		ds.Records = append(ds.Records, []string{"SAME"})
+		ds.ClusterOf = append(ds.ClusterOf, i)
+	}
+	if got := StandardBlocking(ds, []KeyFunc{ExactKey(0)}, 5); len(got) != 0 {
+		t.Errorf("oversize block emitted %d pairs", len(got))
+	}
+	if got := StandardBlocking(ds, []KeyFunc{ExactKey(0)}, 0); len(got) != 45 {
+		t.Errorf("unlimited block emitted %d pairs, want 45", len(got))
+	}
+}
+
+func TestPrefixKey(t *testing.T) {
+	k := PrefixKey(0, 3)
+	if k([]string{" williams "}) != "WIL" {
+		t.Errorf("PrefixKey = %q", k([]string{" williams "}))
+	}
+	if k([]string{"AB"}) != "AB" {
+		t.Errorf("short value key = %q", k([]string{"AB"}))
+	}
+}

@@ -1,0 +1,120 @@
+package dedup
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/simil"
+)
+
+// Canopy blocking (McCallum, Nigam & Ungar): group records into overlapping
+// canopies using a cheap similarity (trigram Jaccard over selected
+// attributes) with a loose and a tight threshold, then emit all pairs
+// inside each canopy. A third blocking scheme beside SNM and standard
+// blocking, strong when no single sort key or blocking key is reliable.
+
+// CanopyConfig parameterizes the canopy construction.
+type CanopyConfig struct {
+	// Attrs are the attribute indices whose concatenated values feed the
+	// cheap similarity (typically the name attributes).
+	Attrs []int
+	// Loose is the canopy-membership threshold (records with cheap
+	// similarity >= Loose join the canopy).
+	Loose float64
+	// Tight removes records from the candidate pool (>= Tight means the
+	// record will not seed or join further canopies).
+	Tight float64
+	Seed  int64
+}
+
+// CanopyBlocking returns the candidate pairs of the canopy method. Records
+// with empty key text never pair (they would form one giant canopy).
+func CanopyBlocking(ds *Dataset, cfg CanopyConfig) []Pair {
+	if cfg.Tight < cfg.Loose {
+		cfg.Tight = cfg.Loose
+	}
+	n := len(ds.Records)
+	keys := make([][]string, n) // trigram sets
+	byGram := map[string][]int{}
+	for i, rec := range ds.Records {
+		var sb strings.Builder
+		for _, a := range cfg.Attrs {
+			sb.WriteString(strings.ToLower(strings.TrimSpace(rec[a])))
+			sb.WriteByte(' ')
+		}
+		grams := simil.QGrams(strings.TrimSpace(sb.String()), 3)
+		keys[i] = grams
+		seen := map[string]bool{}
+		for _, g := range grams {
+			if !seen[g] {
+				seen[g] = true
+				byGram[g] = append(byGram[g], i)
+			}
+		}
+	}
+
+	pool := make([]bool, n) // still available as canopy members/seeds
+	for i := range pool {
+		pool[i] = len(keys[i]) > 0
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	seen := map[Pair]bool{}
+	var out []Pair
+	for _, seed := range order {
+		if !pool[seed] {
+			continue
+		}
+		// Candidate members: records sharing at least one trigram.
+		candSet := map[int]bool{}
+		for _, g := range uniqueGrams(keys[seed]) {
+			for _, j := range byGram[g] {
+				candSet[j] = true
+			}
+		}
+		var canopy []int
+		for j := range candSet {
+			if j == seed {
+				continue
+			}
+			s := simil.Jaccard(keys[seed], keys[j])
+			if s >= cfg.Loose {
+				canopy = append(canopy, j)
+				if s >= cfg.Tight {
+					pool[j] = false
+				}
+			}
+		}
+		pool[seed] = false
+		canopy = append(canopy, seed)
+		sort.Ints(canopy)
+		for x := 0; x < len(canopy); x++ {
+			for y := x + 1; y < len(canopy); y++ {
+				p := Pair{canopy[x], canopy[y]}
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func uniqueGrams(grams []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, g := range grams {
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package dedup
+
+import "testing"
+
+func TestCanopyBlockingFindsFuzzyDuplicates(t *testing.T) {
+	ds := toyDataset(t, 40, []int{2, 3}, 0.3)
+	cfg := CanopyConfig{Attrs: []int{0, 2}, Loose: 0.3, Tight: 0.8, Seed: 1}
+	pairs := CanopyBlocking(ds, cfg)
+	if len(pairs) == 0 {
+		t.Fatal("no canopy candidates")
+	}
+	if rec := BlockingRecall(ds, pairs); rec < 0.9 {
+		t.Errorf("canopy recall = %v, want >= 0.9", rec)
+	}
+	// Ordered, unique pairs.
+	seen := map[Pair]bool{}
+	for _, p := range pairs {
+		if p.I >= p.J {
+			t.Fatalf("unordered pair %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestCanopyLooseThresholdControlsVolume(t *testing.T) {
+	ds := toyDataset(t, 60, []int{2}, 0.3)
+	attrs := []int{0, 2}
+	loose := CanopyBlocking(ds, CanopyConfig{Attrs: attrs, Loose: 0.1, Tight: 0.9, Seed: 2})
+	strict := CanopyBlocking(ds, CanopyConfig{Attrs: attrs, Loose: 0.6, Tight: 0.9, Seed: 2})
+	if len(strict) >= len(loose) {
+		t.Errorf("stricter loose threshold produced more candidates: %d vs %d", len(strict), len(loose))
+	}
+}
+
+func TestCanopyDeterminism(t *testing.T) {
+	ds := toyDataset(t, 30, []int{2}, 0.3)
+	cfg := CanopyConfig{Attrs: []int{0, 2}, Loose: 0.3, Tight: 0.8, Seed: 5}
+	a := CanopyBlocking(ds, cfg)
+	b := CanopyBlocking(ds, cfg)
+	if len(a) != len(b) {
+		t.Fatal("canopy blocking not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("canopy pair order not deterministic")
+		}
+	}
+}
+
+func TestCanopyEmptyKeysNeverPair(t *testing.T) {
+	ds := &Dataset{
+		Name:  "e",
+		Attrs: []string{"k"},
+		Records: [][]string{
+			{""}, {""}, {"SMITH"}, {"SMYTH"},
+		},
+		ClusterOf: []int{0, 1, 2, 2},
+	}
+	pairs := CanopyBlocking(ds, CanopyConfig{Attrs: []int{0}, Loose: 0.2, Tight: 0.8, Seed: 1})
+	for _, p := range pairs {
+		if p.I < 2 {
+			t.Fatalf("empty-key record paired: %v", p)
+		}
+	}
+}

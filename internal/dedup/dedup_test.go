@@ -1,0 +1,314 @@
+package dedup
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/corrupt"
+)
+
+// toyDataset builds a small labeled dataset: nClusters clusters of size
+// sizes[i%len(sizes)], values drawn from pools with light typos on
+// duplicates.
+func toyDataset(t *testing.T, nClusters int, sizes []int, errRate float64) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	firsts := []string{"JOHN", "MARY", "ROBERT", "LINDA", "JAMES", "PATRICIA", "DAVID", "BARBARA", "WILLIAM", "SUSAN"}
+	lasts := []string{"SMITH", "JOHNSON", "BROWN", "DAVIS", "MILLER", "WILSON", "MOORE", "TAYLOR", "THOMAS", "WHITE"}
+	cities := []string{"RALEIGH", "DURHAM", "CARY", "APEX", "WILSON"}
+	ds := &Dataset{
+		Name:      "toy",
+		Attrs:     []string{"first", "middle", "last", "city", "zip"},
+		NameAttrs: []int{0, 1, 2},
+	}
+	for c := 0; c < nClusters; c++ {
+		base := []string{
+			firsts[rng.Intn(len(firsts))],
+			firsts[rng.Intn(len(firsts))][:1],
+			lasts[rng.Intn(len(lasts))],
+			cities[rng.Intn(len(cities))],
+			fmt.Sprintf("27%03d", rng.Intn(1000)),
+		}
+		size := sizes[c%len(sizes)]
+		for d := 0; d < size; d++ {
+			rec := append([]string(nil), base...)
+			if d > 0 && rng.Float64() < errRate {
+				rec[0] = corrupt.Typo(rng, rec[0])
+			}
+			if d > 0 && rng.Float64() < errRate/2 {
+				rec[2] = corrupt.Typo(rng, rec[2])
+			}
+			ds.Records = append(ds.Records, rec)
+			ds.ClusterOf = append(ds.ClusterOf, c)
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDatasetStats(t *testing.T) {
+	ds := toyDataset(t, 10, []int{1, 2, 3}, 0.5)
+	if ds.NumClusters() != 10 {
+		t.Errorf("clusters = %d", ds.NumClusters())
+	}
+	// sizes cycle 1,2,3: 4 clusters of 1, 3 of 2, 3 of 3 -> 4+6+9 = 19 recs.
+	if ds.NumRecords() != 19 {
+		t.Errorf("records = %d", ds.NumRecords())
+	}
+	// pairs: 3*1 + 3*3 = 12.
+	if ds.NumTruePairs() != 12 {
+		t.Errorf("true pairs = %d", ds.NumTruePairs())
+	}
+	if ds.NonSingletonClusters() != 6 {
+		t.Errorf("non-singletons = %d", ds.NonSingletonClusters())
+	}
+	if ds.MaxClusterSize() != 3 {
+		t.Errorf("max cluster = %d", ds.MaxClusterSize())
+	}
+	if got := ds.AvgClusterSize(); got < 1.89 || got > 1.91 {
+		t.Errorf("avg cluster = %v", got)
+	}
+}
+
+func TestValidateCatchesMistakes(t *testing.T) {
+	ds := &Dataset{Name: "bad", Attrs: []string{"a"}, Records: [][]string{{"x"}}, ClusterOf: nil}
+	if ds.Validate() == nil {
+		t.Error("label/record mismatch accepted")
+	}
+	ds = &Dataset{Name: "bad", Attrs: []string{"a", "b"}, Records: [][]string{{"x"}}, ClusterOf: []int{0}}
+	if ds.Validate() == nil {
+		t.Error("width mismatch accepted")
+	}
+	ds = &Dataset{Name: "bad", Attrs: []string{"a"}, Records: [][]string{{"x"}}, ClusterOf: []int{0}, NameAttrs: []int{5}}
+	if ds.Validate() == nil {
+		t.Error("out-of-range name attr accepted")
+	}
+}
+
+func TestTrimmed(t *testing.T) {
+	ds := &Dataset{Name: "w", Attrs: []string{"a"}, Records: [][]string{{" x "}}, ClusterOf: []int{0}}
+	tr := ds.Trimmed()
+	if tr.Records[0][0] != "x" {
+		t.Errorf("trimmed = %q", tr.Records[0][0])
+	}
+	if ds.Records[0][0] != " x " {
+		t.Error("Trimmed mutated the original")
+	}
+}
+
+func TestMatcherIdenticalRecords(t *testing.T) {
+	ds := toyDataset(t, 5, []int{2}, 0)
+	for _, m := range AllMeasures {
+		matcher := NewMatcher(ds, m)
+		// Records 0 and 1 are exact copies.
+		if got := matcher.RecordSim(0, 1); got < 0.999 {
+			t.Errorf("%s: identical records sim = %v", m, got)
+		}
+	}
+}
+
+func TestExtendedMeasuresEvaluate(t *testing.T) {
+	ds := toyDataset(t, 30, []int{2, 3}, 0.2)
+	for _, m := range AllMeasures[3:] {
+		curve := Evaluate(ds, m, 3, 20, 20)
+		f1, _ := curve.BestF1()
+		if f1 < 0.7 {
+			t.Errorf("%s: best F1 = %v on clean data, want >= 0.7", m, f1)
+		}
+	}
+}
+
+func TestMatcherNameConfusionHandled(t *testing.T) {
+	ds := &Dataset{
+		Name:      "confused",
+		Attrs:     []string{"first", "middle", "last", "city"},
+		NameAttrs: []int{0, 1, 2},
+		Records: [][]string{
+			{"DEBRA", "OEHRLE", "WILLIAMS", "DURHAM"},
+			{"WILLIAMS", "DEBRA", "OEHRLE", "DURHAM"}, // names rotated
+			{"MARY", "L", "FIELDS", "RALEIGH"},
+			{"JOHN", "Q", "PUBLIC", "APEX"},
+		},
+		ClusterOf: []int{0, 0, 1, 2},
+	}
+	matcher := NewMatcher(ds, MeasureMELev)
+	confused := matcher.RecordSim(0, 1)
+	different := matcher.RecordSim(0, 2)
+	if confused < 0.99 {
+		t.Errorf("rotated names sim = %v, want ~1 (1:1 matching)", confused)
+	}
+	if confused <= different {
+		t.Errorf("confusion (%v) should outscore different person (%v)", confused, different)
+	}
+}
+
+func TestMatcherWeightsSumToOne(t *testing.T) {
+	ds := toyDataset(t, 10, []int{2}, 0.5)
+	w := NewMatcher(ds, MeasureMELev).Weights()
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("weights sum = %v", sum)
+	}
+}
+
+func TestSortedNeighborhoodFindsAllClusteredPairs(t *testing.T) {
+	ds := toyDataset(t, 30, []int{2, 3}, 0.2)
+	passes := MostUniqueAttrs(ds, 3)
+	cands := SortedNeighborhood(ds, passes, 20)
+	if rec := BlockingRecall(ds, cands); rec < 0.95 {
+		t.Errorf("blocking recall = %v, want >= 0.95", rec)
+	}
+	// No duplicates in the candidate list, all i < j.
+	seen := map[Pair]bool{}
+	for _, p := range cands {
+		if p.I >= p.J {
+			t.Fatalf("unordered pair %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSortedNeighborhoodWindowBoundsCandidates(t *testing.T) {
+	ds := toyDataset(t, 50, []int{2}, 0.2)
+	small := SortedNeighborhood(ds, []int{0}, 5)
+	big := SortedNeighborhood(ds, []int{0}, 50)
+	if len(small) >= len(big) {
+		t.Errorf("window 5 produced %d pairs, window 50 %d", len(small), len(big))
+	}
+	n := ds.NumRecords()
+	maxSmall := n * 4 // window-1 successors each
+	if len(small) > maxSmall {
+		t.Errorf("window 5 produced %d pairs, cap %d", len(small), maxSmall)
+	}
+}
+
+func TestMostUniqueAttrs(t *testing.T) {
+	ds := &Dataset{
+		Name:  "u",
+		Attrs: []string{"constant", "unique"},
+		Records: [][]string{
+			{"X", "A"}, {"X", "B"}, {"X", "C"},
+		},
+		ClusterOf: []int{0, 1, 2},
+	}
+	got := MostUniqueAttrs(ds, 1)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("MostUniqueAttrs = %v, want [1]", got)
+	}
+	if got := MostUniqueAttrs(ds, 10); len(got) != 2 {
+		t.Errorf("k beyond schema = %v", got)
+	}
+}
+
+func TestEvaluateCleanDatasetNearPerfect(t *testing.T) {
+	ds := toyDataset(t, 40, []int{2, 3}, 0.15)
+	for _, m := range Measures {
+		curve := Evaluate(ds, m, 3, 20, 50)
+		f1, th := curve.BestF1()
+		if f1 < 0.9 {
+			t.Errorf("%s: best F1 = %v @%v, want >= 0.9 on a clean dataset", m, f1, th)
+		}
+	}
+}
+
+func TestEvaluateCurveShape(t *testing.T) {
+	ds := toyDataset(t, 30, []int{2}, 0.5)
+	curve := Evaluate(ds, MeasureJaroWinkler, 3, 20, 20)
+	if len(curve.Points) != 21 {
+		t.Fatalf("points = %d", len(curve.Points))
+	}
+	// Threshold 0 classifies every candidate pair: recall is maximal.
+	p0 := curve.Points[0]
+	pLast := curve.Points[len(curve.Points)-1]
+	if p0.Recall < pLast.Recall {
+		t.Errorf("recall should not increase with threshold: %v -> %v", p0.Recall, pLast.Recall)
+	}
+	// Monotone recall along the curve.
+	for i := 1; i < len(curve.Points); i++ {
+		if curve.Points[i].Recall > curve.Points[i-1].Recall+1e-12 {
+			t.Fatalf("recall increased at threshold %v", curve.Points[i].Threshold)
+		}
+	}
+	// All metrics in [0, 1].
+	for _, p := range curve.Points {
+		if p.Precision < 0 || p.Precision > 1 || p.Recall < 0 || p.Recall > 1 || p.F1 < 0 || p.F1 > 1 {
+			t.Fatalf("metric out of range at %v: %+v", p.Threshold, p)
+		}
+	}
+}
+
+func TestEvaluateAllCoversMeasures(t *testing.T) {
+	ds := toyDataset(t, 10, []int{2}, 0.3)
+	curves := EvaluateAll(ds, 2, 10, 10)
+	if len(curves) != 3 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	names := map[Measure]bool{}
+	for _, c := range curves {
+		names[c.Measure] = true
+		if c.Dataset != "toy" {
+			t.Errorf("curve dataset = %s", c.Dataset)
+		}
+	}
+	if len(names) != 3 {
+		t.Errorf("measures = %v", names)
+	}
+}
+
+func TestDirtierDataScoresWorse(t *testing.T) {
+	clean := toyDataset(t, 40, []int{2, 3}, 0.1)
+	dirty := toyDataset(t, 40, []int{2, 3}, 0.95)
+	// Make the dirty dataset truly dirty: corrupt aggressively.
+	rng := rand.New(rand.NewSource(9))
+	for i := range dirty.Records {
+		if dirty.ClusterOf[i] == dirty.ClusterOf[maxInt(0, i-1)] && i > 0 {
+			for c := 0; c < 3; c++ {
+				v := dirty.Records[i][c]
+				for k := 0; k < 3; k++ {
+					v = corrupt.Typo(rng, v)
+				}
+				dirty.Records[i][c] = strings.TrimSpace(v)
+			}
+		}
+	}
+	cleanF1, _ := Evaluate(clean, MeasureMELev, 3, 20, 50).BestF1()
+	dirtyF1, _ := Evaluate(dirty, MeasureMELev, 3, 20, 50).BestF1()
+	if dirtyF1 >= cleanF1 {
+		t.Errorf("dirty F1 (%v) should be below clean F1 (%v)", dirtyF1, cleanF1)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkRecordSimMELev(b *testing.B) {
+	ds := &Dataset{
+		Name:      "b",
+		Attrs:     []string{"first", "middle", "last", "city", "zip"},
+		NameAttrs: []int{0, 1, 2},
+		Records: [][]string{
+			{"CHRISTOPHER", "LEE", "WILLIAMSON", "FAYETTEVILLE", "28301"},
+			{"KRISTOFFER", "L", "WILLIAMSON", "FAYETTEVILE", "28301"},
+		},
+		ClusterOf: []int{0, 0},
+	}
+	m := NewMatcher(ds, MeasureMELev)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.RecordSim(0, 1)
+	}
+}

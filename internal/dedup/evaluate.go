@@ -1,0 +1,110 @@
+package dedup
+
+import "sort"
+
+// Point is one threshold of an evaluation curve.
+type Point struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Curve is the F1-versus-threshold series of one measure on one dataset
+// (one line of the paper's Figure 5).
+type Curve struct {
+	Dataset string
+	Measure Measure
+	Points  []Point
+}
+
+// BestF1 returns the curve's maximum F1 score and the threshold achieving
+// it.
+func (c Curve) BestF1() (f1, threshold float64) {
+	for _, p := range c.Points {
+		if p.F1 > f1 {
+			f1, threshold = p.F1, p.Threshold
+		}
+	}
+	return f1, threshold
+}
+
+// Evaluate runs the full §6.5 pipeline for one measure: multi-pass SNM
+// blocking over the numPasses most unique attributes with the given window,
+// record scoring, and a threshold sweep. Thresholds run from 0 to 1 in
+// steps of 1/steps. True pairs missed by the blocking count as false
+// negatives at every threshold.
+func Evaluate(ds *Dataset, m Measure, numPasses, window, steps int) Curve {
+	passes := MostUniqueAttrs(ds, numPasses)
+	candidates := SortedNeighborhood(ds, passes, window)
+	return EvaluateCandidates(ds, m, candidates, steps)
+}
+
+// EvaluateCandidates scores the given candidate pairs and sweeps the
+// decision threshold.
+func EvaluateCandidates(ds *Dataset, m Measure, candidates []Pair, steps int) Curve {
+	matcher := NewMatcher(ds, m)
+	type scored struct {
+		sim float64
+		dup bool
+	}
+	scoredPairs := make([]scored, len(candidates))
+	candidateTrue := 0
+	for k, p := range candidates {
+		dup := ds.IsDuplicate(p.I, p.J)
+		if dup {
+			candidateTrue++
+		}
+		scoredPairs[k] = scored{matcher.RecordSim(p.I, p.J), dup}
+	}
+	sort.Slice(scoredPairs, func(a, b int) bool { return scoredPairs[a].sim > scoredPairs[b].sim })
+
+	totalTrue := ds.NumTruePairs()
+	curve := Curve{Dataset: ds.Name, Measure: m}
+	// Prefix true-positive counts over the descending score order: at
+	// threshold t the classified-duplicate set is the prefix with sim >= t.
+	tpPrefix := make([]int, len(scoredPairs)+1)
+	for i, sp := range scoredPairs {
+		tpPrefix[i+1] = tpPrefix[i]
+		if sp.dup {
+			tpPrefix[i+1]++
+		}
+	}
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / float64(steps)
+		n := sort.Search(len(scoredPairs), func(i int) bool { return scoredPairs[i].sim < t })
+		curve.Points = append(curve.Points, point(t, tpPrefix[n], n, totalTrue))
+	}
+	// Ascending threshold order for presentation.
+	sort.Slice(curve.Points, func(a, b int) bool { return curve.Points[a].Threshold < curve.Points[b].Threshold })
+	return curve
+}
+
+// point computes precision/recall/F1 for tp true positives among n
+// classified duplicates and totalTrue gold pairs.
+func point(t float64, tp, n, totalTrue int) Point {
+	p := Point{Threshold: t}
+	if n > 0 {
+		p.Precision = float64(tp) / float64(n)
+	} else {
+		p.Precision = 1 // empty classification is vacuously precise
+	}
+	if totalTrue > 0 {
+		p.Recall = float64(tp) / float64(totalTrue)
+	} else {
+		p.Recall = 1
+	}
+	if p.Precision+p.Recall > 0 {
+		p.F1 = 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+	}
+	return p
+}
+
+// EvaluateAll runs Evaluate for every measure.
+func EvaluateAll(ds *Dataset, numPasses, window, steps int) []Curve {
+	out := make([]Curve, 0, len(Measures))
+	for _, m := range Measures {
+		out = append(out, Evaluate(ds, m, numPasses, window, steps))
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package docstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Filter is a predicate over documents; nil matches everything.
+type Filter func(Document) bool
+
+// Eq matches documents whose value at path equals v.
+func Eq(path string, v any) Filter {
+	return func(d Document) bool {
+		got, ok := Get(d, path)
+		return ok && compare(got, v) == 0
+	}
+}
+
+// Lt matches documents whose value at path is strictly less than v.
+func Lt(path string, v any) Filter {
+	return func(d Document) bool {
+		got, ok := Get(d, path)
+		return ok && compare(got, v) < 0
+	}
+}
+
+// Gt matches documents whose value at path is strictly greater than v.
+func Gt(path string, v any) Filter {
+	return func(d Document) bool {
+		got, ok := Get(d, path)
+		return ok && compare(got, v) > 0
+	}
+}
+
+// Lte and Gte are the inclusive variants of Lt and Gt.
+func Lte(path string, v any) Filter {
+	return func(d Document) bool {
+		got, ok := Get(d, path)
+		return ok && compare(got, v) <= 0
+	}
+}
+
+// Gte matches documents whose value at path is at least v.
+func Gte(path string, v any) Filter {
+	return func(d Document) bool {
+		got, ok := Get(d, path)
+		return ok && compare(got, v) >= 0
+	}
+}
+
+// Exists matches documents that have any value at path.
+func Exists(path string) Filter {
+	return func(d Document) bool {
+		_, ok := Get(d, path)
+		return ok
+	}
+}
+
+// And combines filters conjunctively; And() matches everything.
+func And(filters ...Filter) Filter {
+	return func(d Document) bool {
+		for _, f := range filters {
+			if f != nil && !f(d) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or combines filters disjunctively; Or() matches nothing.
+func Or(filters ...Filter) Filter {
+	return func(d Document) bool {
+		for _, f := range filters {
+			if f != nil && f(d) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not inverts a filter.
+func Not(f Filter) Filter {
+	return func(d Document) bool { return !(f == nil || f(d)) }
+}
+
+// Collection stores documents keyed by their "_id" field, preserving
+// insertion order for scans. Secondary hash indexes over dotted paths
+// accelerate equality lookups. All methods are safe for concurrent use.
+type Collection struct {
+	mu      sync.RWMutex
+	name    string
+	docs    []Document               // insertion order; nil slots after deletion
+	byID    map[string]int           // _id -> slot
+	indexes map[string]index         // path -> hash index
+	ordered map[string]*orderedIndex // path -> sorted index
+	deleted int
+}
+
+// index is a hash index from rendered value to document slots.
+type index map[string][]int
+
+// indexKey renders an indexed value; documents missing the path are not
+// indexed.
+func indexKey(v any) string { return fmt.Sprint(v) }
+
+// NewCollection returns an empty collection with the given name.
+func NewCollection(name string) *Collection {
+	return &Collection{
+		name:    name,
+		byID:    map[string]int{},
+		indexes: map[string]index{},
+	}
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Len returns the number of live documents.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.byID)
+}
+
+// Insert stores doc under its "_id" (which must be a non-empty string) and
+// returns an error for duplicate or missing ids. The document is stored by
+// reference; callers must not mutate it afterwards except through Update.
+func (c *Collection) Insert(doc Document) error {
+	id, ok := doc["_id"].(string)
+	if !ok || id == "" {
+		return fmt.Errorf("docstore: %s: document misses a string _id", c.name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byID[id]; dup {
+		return fmt.Errorf("docstore: %s: duplicate _id %q", c.name, id)
+	}
+	slot := len(c.docs)
+	c.docs = append(c.docs, doc)
+	c.byID[id] = slot
+	for path, ix := range c.indexes {
+		if v, ok := Get(doc, path); ok {
+			k := indexKey(v)
+			ix[k] = append(ix[k], slot)
+		}
+	}
+	c.markOrderedDirty()
+	return nil
+}
+
+// Get returns the document with the given id, or nil.
+func (c *Collection) Get(id string) Document {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if slot, ok := c.byID[id]; ok {
+		return c.docs[slot]
+	}
+	return nil
+}
+
+// Update applies fn to the document with the given id under the write lock
+// and refreshes its index entries. It returns false if the id is unknown.
+func (c *Collection) Update(id string, fn func(Document)) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot, ok := c.byID[id]
+	if !ok {
+		return false
+	}
+	doc := c.docs[slot]
+	before := map[string]string{}
+	for path := range c.indexes {
+		if v, ok := Get(doc, path); ok {
+			before[path] = indexKey(v)
+		}
+	}
+	fn(doc)
+	for path, ix := range c.indexes {
+		var after string
+		v, has := Get(doc, path)
+		if has {
+			after = indexKey(v)
+		}
+		prev, had := before[path]
+		if had == has && prev == after {
+			continue
+		}
+		if had {
+			ix[prev] = removeSlot(ix[prev], slot)
+		}
+		if has {
+			ix[after] = append(ix[after], slot)
+		}
+	}
+	c.markOrderedDirty()
+	return true
+}
+
+// Delete removes the document with the given id, returning whether it
+// existed.
+func (c *Collection) Delete(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot, ok := c.byID[id]
+	if !ok {
+		return false
+	}
+	doc := c.docs[slot]
+	for path, ix := range c.indexes {
+		if v, ok := Get(doc, path); ok {
+			k := indexKey(v)
+			ix[k] = removeSlot(ix[k], slot)
+		}
+	}
+	c.docs[slot] = nil
+	delete(c.byID, id)
+	c.deleted++
+	c.markOrderedDirty()
+	return true
+}
+
+func removeSlot(slots []int, slot int) []int {
+	for i, s := range slots {
+		if s == slot {
+			return append(slots[:i], slots[i+1:]...)
+		}
+	}
+	return slots
+}
+
+// CreateIndex builds a hash index over the dotted path; subsequent
+// FindEq calls on that path use it. Creating an existing index is a no-op.
+func (c *Collection) CreateIndex(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.indexes[path]; ok {
+		return
+	}
+	ix := index{}
+	for slot, doc := range c.docs {
+		if doc == nil {
+			continue
+		}
+		if v, ok := Get(doc, path); ok {
+			k := indexKey(v)
+			ix[k] = append(ix[k], slot)
+		}
+	}
+	c.indexes[path] = ix
+}
+
+// HasIndex reports whether path is indexed.
+func (c *Collection) HasIndex(path string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.indexes[path]
+	return ok
+}
+
+// FindEq returns the documents whose value at path equals v, using the hash
+// index when one exists and a full scan otherwise.
+func (c *Collection) FindEq(path string, v any) []Document {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if ix, ok := c.indexes[path]; ok {
+		slots := ix[indexKey(v)]
+		out := make([]Document, 0, len(slots))
+		for _, s := range slots {
+			if doc := c.docs[s]; doc != nil {
+				// indexKey collapses distinct values with equal renderings;
+				// re-check to be exact.
+				if got, ok := Get(doc, path); ok && compare(got, v) == 0 {
+					out = append(out, doc)
+				}
+			}
+		}
+		return out
+	}
+	return c.findScan(Eq(path, v))
+}
+
+// Find returns the documents matching the filter in insertion order; a nil
+// filter returns everything.
+func (c *Collection) Find(f Filter) []Document {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.findScan(f)
+}
+
+func (c *Collection) findScan(f Filter) []Document {
+	var out []Document
+	for _, doc := range c.docs {
+		if doc == nil {
+			continue
+		}
+		if f == nil || f(doc) {
+			out = append(out, doc)
+		}
+	}
+	return out
+}
+
+// ForEach visits every live document in insertion order under the read
+// lock. The callback must not mutate documents or call back into the
+// collection.
+func (c *Collection) ForEach(fn func(Document) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, doc := range c.docs {
+		if doc == nil {
+			continue
+		}
+		if !fn(doc) {
+			return
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package docstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// DB is a set of named collections with JSON-lines persistence. Each
+// collection saves to <dir>/<name>.jsonl via an atomic write-then-rename, so
+// a crash mid-save never corrupts a previously saved state.
+type DB struct {
+	mu          sync.Mutex
+	collections map[string]*Collection
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{collections: map[string]*Collection{}}
+}
+
+// Collection returns the named collection, creating it if necessary.
+func (db *DB) Collection(name string) *Collection {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.collections[name]
+	if !ok {
+		c = NewCollection(name)
+		db.collections[name] = c
+	}
+	return c
+}
+
+// CollectionNames returns the names of all collections, sorted.
+func (db *DB) CollectionNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Save persists every collection into dir (created if missing).
+func (db *DB) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range db.CollectionNames() {
+		if err := db.Collection(name).Save(filepath.Join(dir, name+".jsonl")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads every *.jsonl collection file in dir into a fresh database.
+func Load(dir string) (*DB, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	db := NewDB()
+	for _, path := range matches {
+		name := filepath.Base(path)
+		name = name[:len(name)-len(".jsonl")]
+		if err := db.Collection(name).LoadFile(path); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Save writes the collection as JSON lines (one document per line, in
+// insertion order) using a temporary file and an atomic rename.
+func (c *Collection) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	enc := json.NewEncoder(w)
+	var encodeErr error
+	c.ForEach(func(d Document) bool {
+		if err := enc.Encode(d); err != nil {
+			encodeErr = err
+			return false
+		}
+		return true
+	})
+	if encodeErr == nil {
+		encodeErr = w.Flush()
+	}
+	if err := f.Close(); encodeErr == nil {
+		encodeErr = err
+	}
+	if encodeErr != nil {
+		os.Remove(tmp)
+		return encodeErr
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile appends the documents of a JSON-lines file into the collection.
+func (c *Collection) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<26)
+	line := 0
+	for sc.Scan() {
+		line++
+		var d Document
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			return fmt.Errorf("docstore: %s line %d: %w", path, line, err)
+		}
+		normalize(d)
+		if err := c.Insert(d); err != nil {
+			return fmt.Errorf("docstore: %s line %d: %w", path, line, err)
+		}
+	}
+	return sc.Err()
+}
+
+// normalize rewrites decoded JSON values in place so nested objects are
+// Documents (encoding/json already decodes into map[string]any, which is
+// our Document type; this pass exists to keep the invariant explicit and to
+// normalize nested arrays).
+func normalize(d Document) {
+	for k, v := range d {
+		d[k] = normalizeValue(v)
+	}
+}
+
+func normalizeValue(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		normalize(t)
+		return t
+	case []any:
+		for i := range t {
+			t[i] = normalizeValue(t[i])
+		}
+		return t
+	default:
+		return v
+	}
+}

@@ -1,0 +1,398 @@
+package docstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetSetDottedPaths(t *testing.T) {
+	d := Document{}
+	if err := Set(d, "meta.counts.a", 3); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := Get(d, "meta.counts.a")
+	if !ok || v != 3 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if _, ok := Get(d, "meta.missing"); ok {
+		t.Error("Get found a missing path")
+	}
+	if _, ok := Get(d, "meta.counts.a.b"); ok {
+		t.Error("Get descended through a scalar")
+	}
+	// Blocked path errors.
+	if err := Set(d, "meta.counts.a.b", 1); err == nil {
+		t.Error("Set through a scalar should fail")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := D("name", "x", "sub", D("arr", []any{1, 2}), "n", 1)
+	c := Clone(d)
+	Set(c, "sub.extra", true)
+	c["sub"].(Document)["arr"].([]any)[0] = 99
+	if _, ok := Get(d, "sub.extra"); ok {
+		t.Error("Clone shares sub-documents")
+	}
+	if d["sub"].(Document)["arr"].([]any)[0] != 1 {
+		t.Error("Clone shares arrays")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b any
+		want int
+	}{
+		{1, 2, -1}, {2, 1, 1}, {2, 2, 0},
+		{1, 1.0, 0}, {int64(3), 3.5, -1},
+		{"a", "b", -1}, {"b", "a", 1}, {"a", "a", 0},
+		{nil, 1, -1}, {1, nil, 1}, {nil, nil, 0},
+		{1, "a", -1}, {"a", 1, 1}, // numbers sort before strings
+	}
+	for _, c := range cases {
+		if got := compare(c.a, c.b); got != c.want {
+			t.Errorf("compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func insertN(t *testing.T, c *Collection, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		doc := D("_id", fmt.Sprintf("id%03d", i), "n", i, "mod", i%3,
+			"person", D("last", fmt.Sprintf("NAME%d", i%5)))
+		if err := c.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCollectionCRUD(t *testing.T) {
+	c := NewCollection("test")
+	insertN(t, c, 10)
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Get("id003") == nil {
+		t.Fatal("Get missed an inserted doc")
+	}
+	if c.Get("nope") != nil {
+		t.Fatal("Get invented a doc")
+	}
+	// Duplicate id rejected.
+	if err := c.Insert(D("_id", "id003")); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+	// Missing id rejected.
+	if err := c.Insert(D("x", 1)); err == nil {
+		t.Error("missing _id accepted")
+	}
+	if !c.Update("id003", func(d Document) { d["n"] = 999 }) {
+		t.Fatal("Update missed")
+	}
+	if v, _ := Get(c.Get("id003"), "n"); v != 999 {
+		t.Errorf("update not applied: %v", v)
+	}
+	if !c.Delete("id003") {
+		t.Fatal("Delete missed")
+	}
+	if c.Get("id003") != nil || c.Len() != 9 {
+		t.Error("Delete left the doc behind")
+	}
+	if c.Delete("id003") {
+		t.Error("double delete returned true")
+	}
+}
+
+func TestIndexedFindEq(t *testing.T) {
+	c := NewCollection("test")
+	insertN(t, c, 30)
+	c.CreateIndex("person.last")
+	if !c.HasIndex("person.last") {
+		t.Fatal("index missing")
+	}
+	got := c.FindEq("person.last", "NAME2")
+	if len(got) != 6 {
+		t.Fatalf("indexed FindEq = %d docs, want 6", len(got))
+	}
+	// Unindexed path falls back to scan with the same result.
+	scan := c.FindEq("mod", 1)
+	if len(scan) != 10 {
+		t.Fatalf("scan FindEq = %d docs, want 10", len(scan))
+	}
+}
+
+func TestIndexFollowsUpdatesAndDeletes(t *testing.T) {
+	c := NewCollection("test")
+	insertN(t, c, 10)
+	c.CreateIndex("person.last")
+	c.Update("id001", func(d Document) { Set(d, "person.last", "RENAMED") })
+	if got := c.FindEq("person.last", "RENAMED"); len(got) != 1 {
+		t.Fatalf("index missed update: %d", len(got))
+	}
+	if got := c.FindEq("person.last", "NAME1"); len(got) != 1 {
+		t.Fatalf("stale index entry: %d", len(got))
+	}
+	c.Delete("id002")
+	if got := c.FindEq("person.last", "NAME2"); len(got) != 1 {
+		t.Fatalf("index kept a deleted doc: %d", len(got))
+	}
+}
+
+func TestFilters(t *testing.T) {
+	c := NewCollection("test")
+	insertN(t, c, 10)
+	if n := len(c.Find(And(Gte("n", 3), Lt("n", 7)))); n != 4 {
+		t.Errorf("range filter = %d docs, want 4", n)
+	}
+	if n := len(c.Find(Or(Eq("n", 1), Eq("n", 2)))); n != 2 {
+		t.Errorf("or filter = %d docs, want 2", n)
+	}
+	if n := len(c.Find(Not(Exists("person.last")))); n != 0 {
+		t.Errorf("not-exists = %d docs, want 0", n)
+	}
+	if n := len(c.Find(Lte("n", 0))); n != 1 {
+		t.Errorf("lte = %d docs, want 1", n)
+	}
+	if n := len(c.Find(Gt("n", 8))); n != 1 {
+		t.Errorf("gt = %d docs, want 1", n)
+	}
+}
+
+func TestPipelineMatchProjectSortLimit(t *testing.T) {
+	c := NewCollection("test")
+	insertN(t, c, 20)
+	out := c.Pipeline(
+		Match{Filter: Eq("mod", 0)},
+		Sort{Path: "n", Desc: true},
+		Limit{N: 3},
+		Project{Paths: []string{"n"}},
+	)
+	if len(out) != 3 {
+		t.Fatalf("pipeline = %d docs", len(out))
+	}
+	if out[0]["n"] != 18 {
+		t.Errorf("top doc n = %v, want 18", out[0]["n"])
+	}
+	if _, ok := out[0]["mod"]; ok {
+		t.Error("projection kept an unlisted field")
+	}
+	if _, ok := out[0]["_id"]; !ok {
+		t.Error("projection dropped _id")
+	}
+}
+
+func TestPipelineDoesNotMutateStore(t *testing.T) {
+	c := NewCollection("test")
+	insertN(t, c, 5)
+	c.Pipeline(Match{}, Project{Paths: nil})
+	if v, _ := Get(c.Get("id000"), "person.last"); v != "NAME0" {
+		t.Error("pipeline mutated stored documents")
+	}
+}
+
+func TestUnwindAndGroup(t *testing.T) {
+	c := NewCollection("clusters")
+	c.Insert(D("_id", "c1", "records", []any{
+		D("last", "A"), D("last", "B"), D("last", "A"),
+	}))
+	c.Insert(D("_id", "c2", "records", []any{D("last", "A")}))
+	out := c.Pipeline(
+		Unwind{Path: "records"},
+		Group{ByPath: "records.last", Accums: []Accumulator{
+			{Name: "n", Op: "count"},
+		}},
+		Sort{Path: "_id"},
+	)
+	if len(out) != 2 {
+		t.Fatalf("groups = %d, want 2", len(out))
+	}
+	if out[0]["_id"] != "A" || out[0]["n"] != 3.0 {
+		t.Errorf("group A = %v", out[0])
+	}
+	if out[1]["_id"] != "B" || out[1]["n"] != 1.0 {
+		t.Errorf("group B = %v", out[1])
+	}
+}
+
+func TestGroupAccumulators(t *testing.T) {
+	c := NewCollection("t")
+	for i := 1; i <= 4; i++ {
+		c.Insert(D("_id", fmt.Sprint(i), "k", "x", "v", i))
+	}
+	out := c.Pipeline(Group{ByPath: "k", Accums: []Accumulator{
+		{Name: "sum", Op: "sum", Path: "v"},
+		{Name: "avg", Op: "avg", Path: "v"},
+		{Name: "min", Op: "min", Path: "v"},
+		{Name: "max", Op: "max", Path: "v"},
+		{Name: "first", Op: "first", Path: "v"},
+		{Name: "all", Op: "push", Path: "v"},
+	}})
+	if len(out) != 1 {
+		t.Fatalf("groups = %d", len(out))
+	}
+	g := out[0]
+	if g["sum"] != 10.0 || g["avg"] != 2.5 {
+		t.Errorf("sum/avg = %v/%v", g["sum"], g["avg"])
+	}
+	if g["min"] != 1 || g["max"] != 4 || g["first"] != 1 {
+		t.Errorf("min/max/first = %v/%v/%v", g["min"], g["max"], g["first"])
+	}
+	if arr := g["all"].([]any); len(arr) != 4 {
+		t.Errorf("push = %v", arr)
+	}
+}
+
+func TestSkipAndCount(t *testing.T) {
+	c := NewCollection("t")
+	insertN(t, c, 10)
+	out := c.Pipeline(Skip{N: 7})
+	if len(out) != 3 {
+		t.Errorf("skip = %d docs", len(out))
+	}
+	cnt := c.Pipeline(Match{Filter: Eq("mod", 1)}, Count{})
+	if cnt[0]["count"] != 3.0 {
+		t.Errorf("count = %v", cnt[0]["count"])
+	}
+}
+
+func TestDBSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDB()
+	c := db.Collection("clusters")
+	c.Insert(D("_id", "c1", "n", 1.5, "records", []any{D("last", "A ")},
+		"meta", D("snapshots", []any{"2008-01-01"})))
+	c.Insert(D("_id", "c2", "flag", true, "null", nil))
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := loaded.Collection("clusters")
+	if lc.Len() != 2 {
+		t.Fatalf("loaded %d docs", lc.Len())
+	}
+	d := lc.Get("c1")
+	if v, _ := Get(d, "n"); v != 1.5 {
+		t.Errorf("n = %v", v)
+	}
+	recs, _ := Get(d, "records")
+	arr, ok := recs.([]any)
+	if !ok || len(arr) != 1 {
+		t.Fatalf("records = %#v", recs)
+	}
+	inner, ok := arr[0].(Document)
+	if !ok || inner["last"] != "A " {
+		t.Errorf("nested doc = %#v (whitespace must survive)", arr[0])
+	}
+	if names := loaded.CollectionNames(); len(names) != 1 || names[0] != "clusters" {
+		t.Errorf("collection names = %v", names)
+	}
+}
+
+func TestSaveIsAtomicOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDB()
+	c := db.Collection("x")
+	c.Insert(D("_id", "a"))
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(D("_id", "b"))
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Collection("x").Len() != 2 {
+		t.Error("second save lost documents")
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	c := NewCollection("t")
+	c.CreateIndex("k")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Insert(D("_id", fmt.Sprintf("w%d-%d", w, i), "k", i%7))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.FindEq("k", i%7)
+				c.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 800 {
+		t.Errorf("Len = %d, want 800", c.Len())
+	}
+}
+
+func TestFieldPathEscape(t *testing.T) {
+	key := FieldPathEscape("2008-01-01.v2")
+	d := Document{}
+	if err := Set(d, "m."+key, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := Get(d, "m."+key); !ok || v != 1 {
+		t.Errorf("escaped key round trip failed: %v %v", v, ok)
+	}
+	if m, ok := d["m"].(Document); !ok || len(m) != 1 {
+		t.Errorf("escaped key split into segments: %#v", d)
+	}
+}
+
+func BenchmarkIndexedLookup(b *testing.B) {
+	c := NewCollection("bench")
+	for i := 0; i < 10000; i++ {
+		c.Insert(D("_id", fmt.Sprint(i), "k", fmt.Sprint(i%997)))
+	}
+	c.CreateIndex("k")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.FindEq("k", fmt.Sprint(i%997))
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	b.ReportAllocs()
+	c := NewCollection("bench")
+	c.CreateIndex("k")
+	for i := 0; i < b.N; i++ {
+		c.Insert(D("_id", fmt.Sprint(i), "k", i%997, "person", D("last", "SMITH")))
+	}
+}
+
+func BenchmarkPipelineUnwindGroup(b *testing.B) {
+	c := NewCollection("bench")
+	for i := 0; i < 500; i++ {
+		c.Insert(D("_id", fmt.Sprint(i), "records", []any{
+			D("last", fmt.Sprint(i%7)), D("last", fmt.Sprint(i%5)),
+		}))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Pipeline(
+			Unwind{Path: "records"},
+			Group{ByPath: "records.last", Accums: []Accumulator{{Name: "n", Op: "count"}}},
+			Sort{Path: "n", Desc: true},
+		)
+	}
+}

@@ -1,0 +1,103 @@
+package docstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Failure injection for the persistence layer: corrupted files, duplicate
+// ids, permission problems. The store must fail loudly, never half-load.
+
+func TestLoadFileRejectsCorruptJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(path, []byte("{\"_id\":\"a\"}\nnot json at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollection("bad")
+	if err := c.LoadFile(path); err == nil {
+		t.Fatal("corrupt JSONL accepted")
+	}
+}
+
+func TestLoadFileRejectsDuplicateIDs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dup.jsonl")
+	if err := os.WriteFile(path, []byte("{\"_id\":\"a\"}\n{\"_id\":\"a\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollection("dup")
+	if err := c.LoadFile(path); err == nil {
+		t.Fatal("duplicate _id accepted on load")
+	}
+}
+
+func TestLoadFileRejectsMissingID(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "noid.jsonl")
+	if err := os.WriteFile(path, []byte("{\"x\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollection("noid")
+	if err := c.LoadFile(path); err == nil {
+		t.Fatal("document without _id accepted on load")
+	}
+}
+
+func TestLoadMissingDirectory(t *testing.T) {
+	db, err := Load(filepath.Join(t.TempDir(), "nope"))
+	// Glob on a missing directory yields no matches, not an error: an
+	// empty database is the correct result.
+	if err != nil {
+		t.Fatalf("missing dir: %v", err)
+	}
+	if len(db.CollectionNames()) != 0 {
+		t.Error("phantom collections")
+	}
+}
+
+func TestSaveFailureLeavesOldFileIntact(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDB()
+	db.Collection("x").Insert(D("_id", "a"))
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Make the directory read-only so the temp file cannot be created.
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	db.Collection("x").Insert(D("_id", "b"))
+	if err := db.Save(dir); err == nil {
+		t.Skip("environment allows writing into read-only dirs (running as root)")
+	}
+	if err := os.Chmod(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Collection("x").Len() != 1 {
+		t.Errorf("failed save corrupted the previous state: %d docs", loaded.Collection("x").Len())
+	}
+}
+
+func TestSaveUnencodableValueCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCollection("x")
+	// A channel cannot be JSON-encoded.
+	c.Insert(Document{"_id": "a", "bad": make(chan int)})
+	path := filepath.Join(dir, "x.jsonl")
+	if err := c.Save(path); err == nil {
+		t.Fatal("unencodable value accepted")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind after failed save")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("failed save created a partial target file")
+	}
+}

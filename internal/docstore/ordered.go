@@ -1,0 +1,135 @@
+package docstore
+
+import "sort"
+
+// Ordered indexes: sorted views over one dotted path enabling range scans —
+// what the cluster store uses to select score ranges (e.g. all clusters
+// with plausibility below a bound) without full scans.
+
+// orderedIndex keeps (value, slot) entries sorted by value.
+type orderedIndex struct {
+	entries []orderedEntry
+	dirty   bool
+}
+
+type orderedEntry struct {
+	value any
+	slot  int
+}
+
+// CreateOrderedIndex builds a sorted index over the dotted path. Subsequent
+// FindRange calls on that path use it; updates and deletes mark it dirty
+// and the next range scan re-sorts lazily.
+func (c *Collection) CreateOrderedIndex(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ordered == nil {
+		c.ordered = map[string]*orderedIndex{}
+	}
+	if _, ok := c.ordered[path]; ok {
+		return
+	}
+	ix := &orderedIndex{}
+	for slot, doc := range c.docs {
+		if doc == nil {
+			continue
+		}
+		if v, ok := Get(doc, path); ok {
+			ix.entries = append(ix.entries, orderedEntry{v, slot})
+		}
+	}
+	sortEntries(ix.entries)
+	c.ordered[path] = ix
+}
+
+// HasOrderedIndex reports whether path has a sorted index.
+func (c *Collection) HasOrderedIndex(path string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.ordered[path]
+	return ok
+}
+
+func sortEntries(entries []orderedEntry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		return compare(entries[i].value, entries[j].value) < 0
+	})
+}
+
+// markOrderedDirty flags every ordered index; called under the write lock
+// by Insert/Update/Delete.
+func (c *Collection) markOrderedDirty() {
+	for _, ix := range c.ordered {
+		ix.dirty = true
+	}
+}
+
+// rebuildOrdered re-derives one ordered index from the live documents;
+// called under the write lock.
+func (c *Collection) rebuildOrdered(path string, ix *orderedIndex) {
+	ix.entries = ix.entries[:0]
+	for slot, doc := range c.docs {
+		if doc == nil {
+			continue
+		}
+		if v, ok := Get(doc, path); ok {
+			ix.entries = append(ix.entries, orderedEntry{v, slot})
+		}
+	}
+	sortEntries(ix.entries)
+	ix.dirty = false
+}
+
+// FindRange returns the documents whose value at path lies in [lo, hi]
+// (either bound may be nil for open-ended scans), in ascending value order.
+// With an ordered index the scan is a binary search plus a contiguous walk;
+// without one it falls back to filtering and sorting.
+func (c *Collection) FindRange(path string, lo, hi any) []Document {
+	c.mu.Lock()
+	ix, ok := c.ordered[path]
+	if ok && ix.dirty {
+		c.rebuildOrdered(path, ix)
+	}
+	c.mu.Unlock()
+
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if ok {
+		entries := ix.entries
+		start := 0
+		if lo != nil {
+			start = sort.Search(len(entries), func(i int) bool {
+				return compare(entries[i].value, lo) >= 0
+			})
+		}
+		var out []Document
+		for i := start; i < len(entries); i++ {
+			if hi != nil && compare(entries[i].value, hi) > 0 {
+				break
+			}
+			if doc := c.docs[entries[i].slot]; doc != nil {
+				out = append(out, doc)
+			}
+		}
+		return out
+	}
+	// Fallback: filter plus sort.
+	var filter Filter
+	switch {
+	case lo != nil && hi != nil:
+		filter = And(Gte(path, lo), Lte(path, hi))
+	case lo != nil:
+		filter = Gte(path, lo)
+	case hi != nil:
+		filter = Lte(path, hi)
+	default:
+		filter = Exists(path)
+	}
+	out := c.findScan(filter)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, _ := Get(out[i], path)
+		b, _ := Get(out[j], path)
+		return compare(a, b) < 0
+	})
+	return out
+}

@@ -1,0 +1,141 @@
+package docstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func rangeCollection(t *testing.T) *Collection {
+	t.Helper()
+	c := NewCollection("r")
+	for i := 0; i < 20; i++ {
+		if err := c.Insert(D("_id", fmt.Sprintf("d%02d", i), "score", float64(i)/20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestFindRangeWithOrderedIndex(t *testing.T) {
+	c := rangeCollection(t)
+	c.CreateOrderedIndex("score")
+	if !c.HasOrderedIndex("score") {
+		t.Fatal("index missing")
+	}
+	got := c.FindRange("score", 0.25, 0.5)
+	if len(got) != 6 { // 0.25, 0.30, ..., 0.50
+		t.Fatalf("range = %d docs", len(got))
+	}
+	// Ascending order.
+	prev := -1.0
+	for _, d := range got {
+		v, _ := Get(d, "score")
+		if v.(float64) < prev {
+			t.Fatal("range scan out of order")
+		}
+		prev = v.(float64)
+	}
+}
+
+func TestFindRangeOpenEnds(t *testing.T) {
+	c := rangeCollection(t)
+	c.CreateOrderedIndex("score")
+	if got := c.FindRange("score", nil, 0.1); len(got) != 3 {
+		t.Errorf("upper-bounded = %d docs, want 3", len(got))
+	}
+	if got := c.FindRange("score", 0.9, nil); len(got) != 2 {
+		t.Errorf("lower-bounded = %d docs, want 2", len(got))
+	}
+	if got := c.FindRange("score", nil, nil); len(got) != 20 {
+		t.Errorf("unbounded = %d docs", len(got))
+	}
+}
+
+func TestFindRangeFallbackWithoutIndex(t *testing.T) {
+	c := rangeCollection(t)
+	got := c.FindRange("score", 0.25, 0.5)
+	if len(got) != 6 {
+		t.Fatalf("fallback range = %d docs", len(got))
+	}
+}
+
+func TestOrderedIndexFollowsMutations(t *testing.T) {
+	c := rangeCollection(t)
+	c.CreateOrderedIndex("score")
+	c.FindRange("score", nil, nil) // force initial clean state
+	c.Insert(D("_id", "new", "score", 0.33))
+	got := c.FindRange("score", 0.3, 0.36)
+	if len(got) != 3 { // 0.30, 0.33, 0.35
+		t.Fatalf("after insert = %d docs", len(got))
+	}
+	c.Delete("new")
+	got = c.FindRange("score", 0.3, 0.36)
+	if len(got) != 2 {
+		t.Fatalf("after delete = %d docs", len(got))
+	}
+	c.Update("d06", func(d Document) { d["score"] = 0.99 })
+	got = c.FindRange("score", 0.3, 0.36)
+	if len(got) != 1 {
+		t.Fatalf("after update = %d docs (0.30 moved to 0.99)", len(got))
+	}
+}
+
+func TestAddFieldStage(t *testing.T) {
+	c := rangeCollection(t)
+	out := c.Pipeline(
+		AddField{Path: "flags.high", Fn: func(d Document) any {
+			v, _ := Get(d, "score")
+			return v.(float64) > 0.5
+		}},
+		Match{Filter: Eq("flags.high", true)},
+	)
+	if len(out) != 9 { // 0.55 .. 0.95
+		t.Errorf("high docs = %d, want 9", len(out))
+	}
+	// Store untouched.
+	if _, ok := Get(c.Get("d19"), "flags.high"); ok {
+		t.Error("AddField leaked into the store")
+	}
+}
+
+func TestSampleStage(t *testing.T) {
+	c := rangeCollection(t)
+	a := c.Pipeline(Sample{N: 5, Seed: 7})
+	b := c.Pipeline(Sample{N: 5, Seed: 7})
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("sample sizes = %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i]["_id"] != b[i]["_id"] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	other := c.Pipeline(Sample{N: 5, Seed: 8})
+	same := true
+	for i := range a {
+		if a[i]["_id"] != other[i]["_id"] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds sampled identically")
+	}
+	if got := c.Pipeline(Sample{N: 100, Seed: 1}); len(got) != 20 {
+		t.Errorf("oversized sample = %d docs", len(got))
+	}
+}
+
+func TestDistinctStage(t *testing.T) {
+	c := NewCollection("d")
+	c.Insert(D("_id", "1", "k", "a"))
+	c.Insert(D("_id", "2", "k", "b"))
+	c.Insert(D("_id", "3", "k", "a"))
+	c.Insert(D("_id", "4"))
+	out := c.Pipeline(Distinct{Path: "k"})
+	if len(out) != 2 {
+		t.Fatalf("distinct = %d", len(out))
+	}
+	if out[0]["value"] != "a" || out[1]["value"] != "b" {
+		t.Errorf("distinct values = %v", out)
+	}
+}

@@ -1,0 +1,293 @@
+package docstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stage transforms a document stream; stages compose into an aggregation
+// pipeline (the counterpart of MongoDB's aggregation framework the paper
+// uses for customization, §5).
+type Stage interface {
+	apply([]Document) []Document
+}
+
+// Pipeline runs the stages over the collection's documents and returns the
+// result. The input documents are cloned before the first stage, so
+// pipelines never mutate the store.
+func (c *Collection) Pipeline(stages ...Stage) []Document {
+	input := c.Find(nil)
+	docs := make([]Document, len(input))
+	for i, d := range input {
+		docs[i] = Clone(d)
+	}
+	for _, s := range stages {
+		docs = s.apply(docs)
+	}
+	return docs
+}
+
+// Match keeps the documents satisfying the filter.
+type Match struct{ Filter Filter }
+
+func (m Match) apply(docs []Document) []Document {
+	var out []Document
+	for _, d := range docs {
+		if m.Filter == nil || m.Filter(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Project keeps only the listed top-level-or-dotted paths (plus "_id").
+type Project struct{ Paths []string }
+
+func (p Project) apply(docs []Document) []Document {
+	out := make([]Document, 0, len(docs))
+	for _, d := range docs {
+		nd := Document{}
+		if id, ok := d["_id"]; ok {
+			nd["_id"] = id
+		}
+		for _, path := range p.Paths {
+			if v, ok := Get(d, path); ok {
+				if err := Set(nd, path, v); err != nil {
+					continue
+				}
+			}
+		}
+		out = append(out, nd)
+	}
+	return out
+}
+
+// Unwind replaces each document by one document per element of the array at
+// Path, with the array value replaced by the element — exactly what turns
+// cluster documents into per-record streams. Documents without an array at
+// Path are dropped.
+type Unwind struct{ Path string }
+
+func (u Unwind) apply(docs []Document) []Document {
+	var out []Document
+	for _, d := range docs {
+		v, ok := Get(d, u.Path)
+		if !ok {
+			continue
+		}
+		arr, ok := v.([]any)
+		if !ok {
+			continue
+		}
+		for _, el := range arr {
+			nd := Clone(d)
+			if err := Set(nd, u.Path, el); err == nil {
+				out = append(out, nd)
+			}
+		}
+	}
+	return out
+}
+
+// Accumulator aggregates the values of one group.
+type Accumulator struct {
+	Name string // output field
+	Op   string // "sum", "count", "avg", "min", "max", "first", "push"
+	Path string // input path (ignored for count)
+}
+
+// Group groups documents by the value at ByPath and emits one document per
+// group with "_id" set to the (rendered) group key plus one field per
+// accumulator.
+type Group struct {
+	ByPath string
+	Accums []Accumulator
+}
+
+func (g Group) apply(docs []Document) []Document {
+	type agg struct {
+		doc    Document
+		counts map[string]float64
+		sums   map[string]float64
+	}
+	groups := map[string]*agg{}
+	var order []string
+	for _, d := range docs {
+		keyVal, _ := Get(d, g.ByPath)
+		key := fmt.Sprint(keyVal)
+		a, ok := groups[key]
+		if !ok {
+			a = &agg{doc: Document{"_id": key}, counts: map[string]float64{}, sums: map[string]float64{}}
+			groups[key] = a
+			order = append(order, key)
+		}
+		for _, acc := range g.Accums {
+			switch acc.Op {
+			case "count":
+				a.counts[acc.Name]++
+				a.doc[acc.Name] = a.counts[acc.Name]
+			case "sum", "avg":
+				if v, ok := Get(d, acc.Path); ok {
+					if f, isNum := toFloat(v); isNum {
+						a.sums[acc.Name] += f
+						a.counts[acc.Name]++
+					}
+				}
+				if acc.Op == "sum" {
+					a.doc[acc.Name] = a.sums[acc.Name]
+				} else if a.counts[acc.Name] > 0 {
+					a.doc[acc.Name] = a.sums[acc.Name] / a.counts[acc.Name]
+				}
+			case "min":
+				if v, ok := Get(d, acc.Path); ok {
+					cur, has := a.doc[acc.Name]
+					if !has || compare(v, cur) < 0 {
+						a.doc[acc.Name] = v
+					}
+				}
+			case "max":
+				if v, ok := Get(d, acc.Path); ok {
+					cur, has := a.doc[acc.Name]
+					if !has || compare(v, cur) > 0 {
+						a.doc[acc.Name] = v
+					}
+				}
+			case "first":
+				if v, ok := Get(d, acc.Path); ok {
+					if _, has := a.doc[acc.Name]; !has {
+						a.doc[acc.Name] = v
+					}
+				}
+			case "push":
+				if v, ok := Get(d, acc.Path); ok {
+					arr, _ := a.doc[acc.Name].([]any)
+					a.doc[acc.Name] = append(arr, v)
+				}
+			default:
+				panic("docstore: unknown accumulator op " + acc.Op)
+			}
+		}
+	}
+	out := make([]Document, 0, len(order))
+	for _, key := range order {
+		out = append(out, groups[key].doc)
+	}
+	return out
+}
+
+// Sort orders the stream by the value at Path; Desc reverses. The sort is
+// stable.
+type Sort struct {
+	Path string
+	Desc bool
+}
+
+func (s Sort) apply(docs []Document) []Document {
+	sort.SliceStable(docs, func(i, j int) bool {
+		a, _ := Get(docs[i], s.Path)
+		b, _ := Get(docs[j], s.Path)
+		if s.Desc {
+			return compare(a, b) > 0
+		}
+		return compare(a, b) < 0
+	})
+	return docs
+}
+
+// Limit truncates the stream to at most N documents.
+type Limit struct{ N int }
+
+func (l Limit) apply(docs []Document) []Document {
+	if len(docs) > l.N {
+		return docs[:l.N]
+	}
+	return docs
+}
+
+// Skip drops the first N documents.
+type Skip struct{ N int }
+
+func (s Skip) apply(docs []Document) []Document {
+	if len(docs) > s.N {
+		return docs[s.N:]
+	}
+	return nil
+}
+
+// Count replaces the stream with a single {"count": n} document.
+type Count struct{}
+
+func (Count) apply(docs []Document) []Document {
+	return []Document{{"count": float64(len(docs))}}
+}
+
+// AddField computes a new field per document from the document itself —
+// the counterpart of $addFields with an expression.
+type AddField struct {
+	Path string
+	Fn   func(Document) any
+}
+
+func (a AddField) apply(docs []Document) []Document {
+	for _, d := range docs {
+		if err := Set(d, a.Path, a.Fn(d)); err != nil {
+			continue
+		}
+	}
+	return docs
+}
+
+// Sample keeps a deterministic pseudo-random subset of N documents (seeded,
+// so pipelines reproduce). With N >= len the stream passes through.
+type Sample struct {
+	N    int
+	Seed int64
+}
+
+func (s Sample) apply(docs []Document) []Document {
+	if s.N >= len(docs) {
+		return docs
+	}
+	// Fisher-Yates prefix with a local xorshift; no package-level state.
+	state := uint64(s.Seed)*0x9e3779b97f4a7c15 + 0x1234567
+	next := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	out := append([]Document(nil), docs...)
+	for i := 0; i < s.N; i++ {
+		j := i + next(len(out)-i)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out[:s.N]
+}
+
+// Distinct replaces the stream with one {"value": v} document per distinct
+// value at Path, in first-appearance order.
+type Distinct struct{ Path string }
+
+func (d Distinct) apply(docs []Document) []Document {
+	seen := map[string]bool{}
+	var out []Document
+	for _, doc := range docs {
+		v, ok := Get(doc, d.Path)
+		if !ok {
+			continue
+		}
+		k := indexKey(v)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, Document{"value": v})
+	}
+	return out
+}
+
+// FieldPathEscape is a helper for keys containing dots (e.g. snapshot
+// dates used as map keys): it replaces dots so they survive dotted-path
+// addressing.
+func FieldPathEscape(key string) string { return strings.ReplaceAll(key, ".", "．") }

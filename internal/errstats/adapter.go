@@ -1,0 +1,58 @@
+package errstats
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/voter"
+)
+
+// FromDataset builds the analyzer input from a core dataset, restricted to
+// the person attributes (the paper's Table 4 profiles personal data). The
+// multi-attribute checks are limited to the three name attributes, where the
+// register's confusions actually happen.
+func FromDataset(d *core.Dataset) Input {
+	cols := voter.GroupIndices(voter.GroupPerson)
+	attrs := voter.Names(cols)
+	in := Input{Attrs: attrs, AgeAttr: "age", AbbrevExempt: map[string]bool{}}
+	// Single-letter code attributes are abbreviations by design, not data
+	// errors.
+	for _, a := range attrs {
+		if strings.HasSuffix(a, "_cd") || strings.HasSuffix(a, "_code") ||
+			a == "state_cd" || a == "mail_state" || a == "drivers_lic" ||
+			a == "street_dir" || a == "unit_designator" {
+			in.AbbrevExempt[a] = true
+		}
+	}
+
+	nameIdx := map[string]int{}
+	for i, a := range attrs {
+		nameIdx[a] = i
+	}
+	for _, pair := range [][2]string{
+		{"first_name", "midl_name"},
+		{"first_name", "last_name"},
+		{"midl_name", "last_name"},
+	} {
+		i, ok1 := nameIdx[pair[0]]
+		j, ok2 := nameIdx[pair[1]]
+		if ok1 && ok2 {
+			in.ConfusablePairs = append(in.ConfusablePairs, [2]int{i, j})
+		}
+	}
+
+	d.Clusters(func(c *core.Cluster) bool {
+		var cluster []int
+		for _, e := range c.Records {
+			vals := make([]string, len(cols))
+			for vi, ci := range cols {
+				vals[vi] = e.Rec.Values[ci]
+			}
+			cluster = append(cluster, len(in.Records))
+			in.Records = append(in.Records, vals)
+		}
+		in.Clusters = append(in.Clusters, cluster)
+		return true
+	})
+	return in
+}

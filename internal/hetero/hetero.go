@@ -1,0 +1,177 @@
+// Package hetero implements the paper's heterogeneity scoring (§6.3): a
+// dirtiness measure for duplicate pairs that — unlike plausibility — counts
+// every difference, while weighting insignificant differences (case,
+// token confusions) lower than real replacements. Every two values are
+// compared four times (with and without lowercasing × sequential
+// Damerau-Levenshtein and hybrid Monge-Elkan) and averaged; attributes are
+// weighted by their entropy computed from one record per cluster so that no
+// external domain knowledge biases cross-dataset comparisons.
+package hetero
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/simil"
+	"repro/internal/voter"
+)
+
+// ValueSim returns the similarity of two attribute values: the mean of the
+// four comparisons described above. Two empty values are identical (1).
+func ValueSim(a, b string) float64 {
+	la, lb := strings.ToLower(a), strings.ToLower(b)
+	s := simil.DamerauLevenshteinSimilarity(a, b)
+	s += simil.DamerauLevenshteinSimilarity(la, lb)
+	s += simil.MongeElkanDL(a, b)
+	s += simil.MongeElkanDL(la, lb)
+	return s / 4
+}
+
+// PairSim returns the weighted mean value similarity of two aligned value
+// slices. len(a), len(b) and len(weights) must agree.
+func PairSim(a, b []string, weights []float64) float64 {
+	if len(a) != len(b) || len(a) != len(weights) {
+		panic("hetero: PairSim length mismatch")
+	}
+	scores := make([]float64, len(a))
+	for i := range a {
+		scores[i] = ValueSim(a[i], b[i])
+	}
+	return simil.WeightedAverage(scores, weights)
+}
+
+// Heterogeneity is the inverse pair similarity: records are the more
+// heterogeneous the less similar they are.
+func Heterogeneity(a, b []string, weights []float64) float64 {
+	return 1 - PairSim(a, b, weights)
+}
+
+// EntropyWeightsFromRows derives normalized attribute weights from rows of
+// aligned values: each column's Shannon entropy divided by the total.
+func EntropyWeightsFromRows(rows [][]string) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	cols := make([][]string, len(rows[0]))
+	for c := range cols {
+		col := make([]string, len(rows))
+		for r := range rows {
+			col[r] = rows[r][c]
+		}
+		cols[c] = col
+	}
+	return simil.EntropyWeights(cols)
+}
+
+// Scorer scores record pairs over a fixed column subset with fixed weights.
+// It implements the similarity orientation of core's version-similarity
+// maps; the heterogeneity is 1 minus the stored score.
+type Scorer struct {
+	cols    []int
+	weights []float64
+}
+
+// NewScorer returns a scorer over the given schema columns and weights
+// (typically from DatasetWeights).
+func NewScorer(cols []int, weights []float64) *Scorer {
+	if len(cols) != len(weights) {
+		panic("hetero: NewScorer length mismatch")
+	}
+	return &Scorer{cols: cols, weights: weights}
+}
+
+// extract pulls the scored column values out of a record, trimmed: leading
+// and trailing whitespace is a distribution artifact, not dirtiness.
+func (s *Scorer) extract(r voter.Record) []string {
+	vals := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		vals[i] = strings.TrimSpace(r.Values[c])
+	}
+	return vals
+}
+
+// PairSim scores one record pair.
+func (s *Scorer) PairSim(a, b voter.Record) float64 {
+	return PairSim(s.extract(a), s.extract(b), s.weights)
+}
+
+// CorePairScorer adapts the scorer to core's registration interface.
+func (s *Scorer) CorePairScorer() core.PairScorer {
+	return func(a, b voter.Record) float64 { return s.PairSim(a, b) }
+}
+
+// DatasetWeights computes the entropy weights of the given schema columns
+// from one record per cluster of the dataset — duplicates would distort the
+// uniqueness estimate (an otherwise unique id occurs multiple times), so
+// only cluster representatives contribute (§6.3).
+func DatasetWeights(d *core.Dataset, cols []int) []float64 {
+	var rows [][]string
+	d.Clusters(func(c *core.Cluster) bool {
+		r := c.Records[0].Rec
+		vals := make([]string, len(cols))
+		for i, ci := range cols {
+			vals[i] = strings.TrimSpace(r.Values[ci])
+		}
+		rows = append(rows, vals)
+		return true
+	})
+	return EntropyWeightsFromRows(rows)
+}
+
+// AllColumns returns the schema columns scored by the all-attribute
+// heterogeneity (everything except the gold-standard NCID, which must never
+// influence a dirtiness measure).
+func AllColumns() []int {
+	var cols []int
+	for i := range voter.Attributes {
+		if i == voter.IdxNCID {
+			continue
+		}
+		cols = append(cols, i)
+	}
+	return cols
+}
+
+// PersonColumns returns the person-group columns (the paper's second
+// heterogeneity map, used by the NC1-NC3 customization).
+func PersonColumns() []int {
+	return voter.GroupIndices(voter.GroupPerson)
+}
+
+// Update computes (incrementally) both heterogeneity version-similarity maps
+// of the dataset, deriving fresh entropy weights from the current cluster
+// representatives.
+func Update(d *core.Dataset) {
+	UpdateParallel(d, 1)
+}
+
+// UpdateParallel is Update over a worker pool (workers <= 0 selects
+// GOMAXPROCS); the result is identical. The scorers are pure, so sharing
+// them between workers is safe.
+func UpdateParallel(d *core.Dataset, workers int) {
+	all := NewScorer(AllColumns(), DatasetWeights(d, AllColumns()))
+	person := NewScorer(PersonColumns(), DatasetWeights(d, PersonColumns()))
+	d.UpdateScoresParallel(core.KindHeteroAll, all.CorePairScorer(), workers)
+	d.UpdateScoresParallel(core.KindHeteroPerson, person.CorePairScorer(), workers)
+}
+
+// ClusterHeterogeneity returns the per-cluster heterogeneity (1 - mean pair
+// similarity) of the given kind for clusters with at least two records.
+func ClusterHeterogeneity(d *core.Dataset, kind string) []float64 {
+	sims := d.ClusterScores(kind, core.AggMean)
+	out := make([]float64, len(sims))
+	for i, s := range sims {
+		out[i] = core.HeteroFromSim(s)
+	}
+	return out
+}
+
+// PairHeterogeneities streams every stored pair heterogeneity of a kind.
+func PairHeterogeneities(d *core.Dataset, kind string) []float64 {
+	var out []float64
+	d.PairScores(kind, func(_ *core.Cluster, _, _ int, sim float64) bool {
+		out = append(out, core.HeteroFromSim(sim))
+		return true
+	})
+	return out
+}

@@ -1,0 +1,203 @@
+package hetero
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/voter"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestValueSimIdentity(t *testing.T) {
+	if got := ValueSim("SMITH", "SMITH"); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+	if got := ValueSim("", ""); got != 1 {
+		t.Errorf("both empty = %v", got)
+	}
+}
+
+func TestValueSimCaseDifferenceIsMild(t *testing.T) {
+	caseOnly := ValueSim("SMITH", "smith")
+	replaced := ValueSim("SMITH", "NGUYEN")
+	typo := ValueSim("SMITH", "SMYTH")
+	if caseOnly <= replaced {
+		t.Errorf("case-only difference (%v) should score above full replacement (%v)", caseOnly, replaced)
+	}
+	if typo <= replaced {
+		t.Errorf("typo (%v) should score above full replacement (%v)", typo, replaced)
+	}
+	// Case-only differences keep exactly the two lowercased comparisons at
+	// 1, so the similarity is exactly 0.5 for an otherwise equal value.
+	if !almost(caseOnly, 0.5) {
+		t.Errorf("case-only = %v, want 0.5", caseOnly)
+	}
+}
+
+func TestValueSimTokenConfusionIsMild(t *testing.T) {
+	confused := ValueSim("ANH THI", "THI ANH")
+	replaced := ValueSim("ANH THI", "XY ZW")
+	if confused <= replaced {
+		t.Errorf("token confusion (%v) should score above replacement (%v)", confused, replaced)
+	}
+	// The two Monge-Elkan comparisons see identical token sets, so at least
+	// half the score is 1.
+	if confused < 0.5 {
+		t.Errorf("token confusion = %v, want >= 0.5", confused)
+	}
+}
+
+func TestPairSimAndHeterogeneity(t *testing.T) {
+	w := []float64{0.5, 0.5}
+	a := []string{"SMITH", "JOHN"}
+	b := []string{"SMITH", "JOHN"}
+	if got := PairSim(a, b, w); got != 1 {
+		t.Errorf("identical pair sim = %v", got)
+	}
+	if got := Heterogeneity(a, b, w); got != 0 {
+		t.Errorf("identical pair heterogeneity = %v", got)
+	}
+	c := []string{"NGUYEN", "THI"}
+	h := Heterogeneity(a, c, w)
+	if h <= 0.3 || h > 1 {
+		t.Errorf("replaced pair heterogeneity = %v", h)
+	}
+}
+
+func TestEntropyWeightsFromRows(t *testing.T) {
+	rows := [][]string{
+		{"A", "X"},
+		{"B", "X"},
+		{"C", "X"},
+	}
+	w := EntropyWeightsFromRows(rows)
+	if len(w) != 2 {
+		t.Fatalf("weights = %v", w)
+	}
+	if !almost(w[0], 1) || !almost(w[1], 0) {
+		t.Errorf("weights = %v, want [1 0]", w)
+	}
+	if EntropyWeightsFromRows(nil) != nil {
+		t.Error("empty rows should yield nil weights")
+	}
+}
+
+// buildDataset creates two clusters: one with a near-identical pair, one
+// with a heavily differing pair.
+func buildDataset(t *testing.T) *core.Dataset {
+	t.Helper()
+	mk := func(ncid, first, last, city string) voter.Record {
+		r := voter.NewRecord()
+		r.SetName("ncid", ncid)
+		r.SetName("first_name", first)
+		r.SetName("last_name", last)
+		r.SetName("res_city_desc", city)
+		return r
+	}
+	d := core.NewDataset(core.RemoveTrimmed)
+	d.ImportSnapshot(voter.Snapshot{Date: "2008-01-01", Records: []voter.Record{
+		mk("CLEAN", "JOHN", "SMITH", "DURHAM"),
+		mk("CLEAN", "JOHN", "SMYTH", "DURHAM"),
+		mk("DIRTY", "JOHN", "SMITH", "DURHAM"),
+		mk("DIRTY", "JANETTE", "NGUYEN", "RALEIGH"),
+	}})
+	return d
+}
+
+func TestUpdateAndClusterHeterogeneity(t *testing.T) {
+	d := buildDataset(t)
+	Update(d)
+	d.Publish()
+	hs := ClusterHeterogeneity(d, core.KindHeteroPerson)
+	if len(hs) != 2 {
+		t.Fatalf("heterogeneities = %v", hs)
+	}
+	clean, dirty := hs[0], hs[1]
+	if clean >= dirty {
+		t.Errorf("clean cluster (%v) should be less heterogeneous than dirty (%v)", clean, dirty)
+	}
+	if clean < 0 || dirty > 1 {
+		t.Errorf("heterogeneity out of range: %v %v", clean, dirty)
+	}
+	if clean == 0 {
+		t.Error("near-duplicate with a typo should have non-zero heterogeneity")
+	}
+}
+
+func TestPairHeterogeneitiesStream(t *testing.T) {
+	d := buildDataset(t)
+	Update(d)
+	hs := PairHeterogeneities(d, core.KindHeteroAll)
+	if len(hs) != 2 {
+		t.Fatalf("pair heterogeneities = %v", hs)
+	}
+	for _, h := range hs {
+		if h < 0 || h > 1 {
+			t.Errorf("pair heterogeneity out of range: %v", h)
+		}
+	}
+}
+
+func TestDatasetWeightsUseOneRecordPerCluster(t *testing.T) {
+	// The duplicate record must not influence the uniqueness estimate: the
+	// last-name column has two distinct values among cluster
+	// representatives even though one name appears three times over all
+	// records.
+	d := buildDataset(t)
+	cols := []int{voter.IdxFirstName, voter.IdxLastName}
+	w := DatasetWeights(d, cols)
+	if len(w) != 2 {
+		t.Fatalf("weights = %v", w)
+	}
+	// Representatives are (JOHN, SMITH) and (JOHN, SMITH): first names all
+	// equal, last names all equal -> both entropies 0 -> uniform fallback.
+	if !almost(w[0], 0.5) || !almost(w[1], 0.5) {
+		t.Errorf("weights = %v, want uniform fallback", w)
+	}
+}
+
+func TestScorerTrimsWhitespace(t *testing.T) {
+	s := NewScorer([]int{voter.IdxLastName}, []float64{1})
+	a := voter.NewRecord()
+	b := voter.NewRecord()
+	a.SetName("last_name", "SMITH  ")
+	b.SetName("last_name", "SMITH")
+	if got := s.PairSim(a, b); got != 1 {
+		t.Errorf("whitespace-only difference scored %v, want 1", got)
+	}
+}
+
+func TestAllColumnsExcludeNCID(t *testing.T) {
+	for _, c := range AllColumns() {
+		if c == voter.IdxNCID {
+			t.Fatal("AllColumns includes the gold-standard NCID")
+		}
+	}
+	if len(AllColumns()) != voter.NumAttributes-1 {
+		t.Errorf("AllColumns = %d, want %d", len(AllColumns()), voter.NumAttributes-1)
+	}
+	if len(PersonColumns()) != 38 {
+		t.Errorf("PersonColumns = %d, want 38", len(PersonColumns()))
+	}
+}
+
+func BenchmarkValueSim(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ValueSim("CHRISTOPHER LEE", "KRISTOFFER L")
+	}
+}
+
+func BenchmarkPersonPairSim(b *testing.B) {
+	d := buildDataset(&testing.T{})
+	s := NewScorer(PersonColumns(), DatasetWeights(d, PersonColumns()))
+	a := d.Cluster("DIRTY").Records[0].Rec
+	c := d.Cluster("DIRTY").Records[1].Rec
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.PairSim(a, c)
+	}
+}

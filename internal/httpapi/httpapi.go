@@ -1,0 +1,158 @@
+// Package httpapi exposes a stored test dataset over a small read-only
+// HTTP/JSON API — the stand-in for the MongoDB Compass exploration the
+// paper relies on for "exploring, generating, adjusting and using the test
+// data" (§5). Endpoints cover the dataset statistics, per-cluster lookup,
+// score-range queries and the import history.
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/docstore"
+)
+
+// Server wraps a dataset and its document database for serving.
+type Server struct {
+	ds  *core.Dataset
+	db  *docstore.DB
+	mux *http.ServeMux
+}
+
+// New builds a server over the dataset. The document database is
+// materialized once; score-range endpoints get ordered indexes.
+func New(ds *core.Dataset) *Server {
+	db := ds.ToDocDB()
+	clusters := db.Collection(core.ClustersCollection)
+	clusters.CreateOrderedIndex("plausibility")
+	clusters.CreateOrderedIndex("heterogeneity")
+	clusters.CreateOrderedIndex("size")
+	s := &Server{ds: ds, db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /years", s.handleYears)
+	s.mux.HandleFunc("GET /histogram", s.handleHistogram)
+	s.mux.HandleFunc("GET /versions", s.handleVersions)
+	s.mux.HandleFunc("GET /clusters/{ncid}", s.handleCluster)
+	s.mux.HandleFunc("GET /clusters", s.handleClusterQuery)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON renders v with a 200 (or the given status).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mode":           s.ds.Mode.String(),
+		"clusters":       s.ds.NumClusters(),
+		"records":        s.ds.NumRecords(),
+		"duplicatePairs": s.ds.NumPairs(),
+		"totalRows":      s.ds.TotalRows(),
+		"removedRecords": s.ds.RemovedRecords(),
+		"avgClusterSize": s.ds.AvgClusterSize(),
+		"maxClusterSize": s.ds.MaxClusterSize(),
+		"versions":       len(s.ds.Versions()),
+	})
+}
+
+func (s *Server) handleYears(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ds.YearlyStats())
+}
+
+func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
+	hist := s.ds.ClusterSizeHistogram()
+	out := map[string]int{}
+	for size, n := range hist {
+		out[strconv.Itoa(size)] = n
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ds.Versions())
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	ncid := r.PathValue("ncid")
+	doc := s.db.Collection(core.ClustersCollection).Get(ncid)
+	if doc == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{"unknown cluster " + ncid})
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleClusterQuery filters clusters by score ranges:
+//
+//	GET /clusters?score=plausibility&max=0.8&limit=50
+//	GET /clusters?score=heterogeneity&min=0.4&limit=20
+//	GET /clusters?score=size&min=5
+func (s *Server) handleClusterQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	score := q.Get("score")
+	switch score {
+	case "":
+		score = "size"
+	case "plausibility", "heterogeneity", "size":
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{"unknown score " + score})
+		return
+	}
+	var lo, hi any
+	if v := q.Get("min"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{"bad min"})
+			return
+		}
+		lo = f
+	}
+	if v := q.Get("max"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{"bad max"})
+			return
+		}
+		hi = f
+	}
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeJSON(w, http.StatusBadRequest, errorBody{"bad limit"})
+			return
+		}
+		limit = n
+	}
+	docs := s.db.Collection(core.ClustersCollection).FindRange(score, lo, hi)
+	if len(docs) > limit {
+		docs = docs[:limit]
+	}
+	// Summaries only: id, size and scores — record bodies via /clusters/{id}.
+	out := make([]map[string]any, 0, len(docs))
+	for _, d := range docs {
+		item := map[string]any{"ncid": d["_id"], "size": d["size"]}
+		if p, ok := d["plausibility"]; ok {
+			item["plausibility"] = p
+		}
+		if h, ok := d["heterogeneity"]; ok {
+			item["heterogeneity"] = h
+		}
+		out = append(out, item)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,135 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hetero"
+	"repro/internal/plaus"
+	"repro/internal/synth"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	cfg := synth.DefaultConfig(19, 150)
+	cfg.Snapshots = synth.Calendar(2008, 3)
+	ds := core.NewDataset(core.RemoveTrimmed)
+	for _, s := range synth.Generate(cfg) {
+		ds.ImportSnapshot(s)
+	}
+	plaus.Update(ds)
+	hetero.Update(ds)
+	ds.Publish()
+	srv := httptest.NewServer(New(ds))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil && resp.StatusCode == http.StatusOK {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var stats map[string]any
+	if code := getJSON(t, srv.URL+"/stats", &stats); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if stats["mode"] != "trimming" {
+		t.Errorf("mode = %v", stats["mode"])
+	}
+	if stats["clusters"].(float64) <= 0 || stats["records"].(float64) <= 0 {
+		t.Errorf("empty stats: %v", stats)
+	}
+	if stats["totalRows"].(float64) < stats["records"].(float64) {
+		t.Errorf("total rows < records: %v", stats)
+	}
+}
+
+func TestYearsAndHistogramEndpoints(t *testing.T) {
+	srv := testServer(t)
+	var years []map[string]any
+	if code := getJSON(t, srv.URL+"/years", &years); code != 200 || len(years) == 0 {
+		t.Fatalf("years: code %d, %v", code, years)
+	}
+	var hist map[string]int
+	if code := getJSON(t, srv.URL+"/histogram", &hist); code != 200 || len(hist) == 0 {
+		t.Fatalf("histogram: code %d, %v", code, hist)
+	}
+	var versions []map[string]any
+	if code := getJSON(t, srv.URL+"/versions", &versions); code != 200 || len(versions) != 1 {
+		t.Fatalf("versions: code %d, %v", code, versions)
+	}
+}
+
+func TestClusterLookup(t *testing.T) {
+	srv := testServer(t)
+	// Find an existing id via the query endpoint.
+	var list []map[string]any
+	if code := getJSON(t, srv.URL+"/clusters?score=size&min=2&limit=1", &list); code != 200 || len(list) == 0 {
+		t.Fatalf("query: code %d, %v", code, list)
+	}
+	ncid := list[0]["ncid"].(string)
+	var doc map[string]any
+	if code := getJSON(t, srv.URL+"/clusters/"+ncid, &doc); code != 200 {
+		t.Fatalf("lookup code = %d", code)
+	}
+	if doc["_id"] != ncid {
+		t.Errorf("doc id = %v", doc["_id"])
+	}
+	if _, ok := doc["records"]; !ok {
+		t.Error("cluster doc misses records")
+	}
+	// Unknown id -> 404.
+	var e map[string]any
+	if code := getJSON(t, srv.URL+"/clusters/NOPE", &e); code != 404 {
+		t.Errorf("unknown cluster code = %d", code)
+	}
+}
+
+func TestScoreRangeQuery(t *testing.T) {
+	srv := testServer(t)
+	var suspects []map[string]any
+	if code := getJSON(t, srv.URL+"/clusters?score=plausibility&max=0.99", &suspects); code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	for _, s := range suspects {
+		if p, ok := s["plausibility"].(float64); !ok || p > 0.99 {
+			t.Errorf("out-of-range result: %v", s)
+		}
+	}
+	// Bad parameters -> 400.
+	var e map[string]any
+	if code := getJSON(t, srv.URL+"/clusters?score=bogus", &e); code != 400 {
+		t.Errorf("bad score code = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/clusters?min=abc", &e); code != 400 {
+		t.Errorf("bad min code = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/clusters?limit=0", &e); code != 400 {
+		t.Errorf("bad limit code = %d", code)
+	}
+}
+
+func TestLimitApplies(t *testing.T) {
+	srv := testServer(t)
+	var list []map[string]any
+	if code := getJSON(t, srv.URL+"/clusters?limit=3", &list); code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	if len(list) > 3 {
+		t.Errorf("limit ignored: %d results", len(list))
+	}
+}

@@ -1,0 +1,136 @@
+// Package plaus implements the paper's plausibility check (§6.2): a
+// similarity score per duplicate pair reflecting how strongly the pair
+// contradicts the assumption that both records describe the same voter.
+// Simple errors and representation differences are compensated — word
+// confusions between the name attributes, missing values and abbreviations
+// do not reduce the score at all — and only stable, identifying attributes
+// participate: the three names, the sex code, the derived year of birth and
+// the place of birth.
+package plaus
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/simil"
+	"repro/internal/voter"
+)
+
+// Weights of the component scores: the combined name similarity is
+// considered more important (0.5) than sex, year of birth and birth place
+// (0.15 each). simil.WeightedAverage normalizes over the weight sum.
+var componentWeights = []float64{0.5, 0.15, 0.15, 0.15}
+
+// genJaccThreshold is the minimum internal token similarity for a token
+// match inside the Generalized Jaccard Coefficient.
+const genJaccThreshold = 0.5
+
+// NameSimilarity scores the (first, middle, last) name tuples with the
+// Generalized Jaccard Coefficient over the Extended Damerau-Levenshtein
+// token measure, so confusions between the name attributes, typos within a
+// name, missing names and abbreviations are all forgiven.
+func NameSimilarity(a, b voter.Record) float64 {
+	na := nameTuple(a)
+	nb := nameTuple(b)
+	return simil.GeneralizedJaccard(na, nb, simil.ExtendedDamerauLevenshtein, genJaccThreshold)
+}
+
+// nameTuple extracts the three name values (including empties: the extended
+// token measure treats them as non-contradicting). Conventional missing
+// markers like "-" or "UNKNOWN" are normalized to the empty string first —
+// they denote unknown values, not contradictions (§6.2).
+func nameTuple(r voter.Record) []string {
+	return []string{
+		normalizeMissing(r.Values[voter.IdxFirstName]),
+		normalizeMissing(r.Values[voter.IdxMiddleName]),
+		normalizeMissing(r.Values[voter.IdxLastName]),
+	}
+}
+
+// normalizeMissing trims the value and maps missing markers to "".
+func normalizeMissing(v string) string {
+	if voter.IsMissing(v) {
+		return ""
+	}
+	return strings.TrimSpace(v)
+}
+
+// SexSimilarity compares the sex codes: agreement, an undesignated value
+// ('U') or a missing value score 1; a real disagreement scores 0.
+func SexSimilarity(a, b voter.Record) float64 {
+	sa := strings.ToUpper(strings.TrimSpace(a.Values[voter.IdxSexCode]))
+	sb := strings.ToUpper(strings.TrimSpace(b.Values[voter.IdxSexCode]))
+	if sa == "" || sb == "" || sa == "U" || sb == "U" || sa == sb {
+		return 1
+	}
+	return 0
+}
+
+// YearOfBirthSimilarity compares the derived years of birth (snapshot date
+// minus age) with the paper's tolerance formula:
+//
+//	sim = 1 - min(1, max(0, |Δ| - 1) / 10)
+//
+// A missing year on either side does not contradict and scores 1.
+func YearOfBirthSimilarity(a, b voter.Record) float64 {
+	ya, yb := a.YearOfBirth(), b.YearOfBirth()
+	if ya == 0 || yb == 0 {
+		return 1
+	}
+	diff := ya - yb
+	if diff < 0 {
+		diff = -diff
+	}
+	over := float64(diff - 1)
+	if over < 0 {
+		over = 0
+	}
+	penalty := over / 10
+	if penalty > 1 {
+		penalty = 1
+	}
+	return 1 - penalty
+}
+
+// BirthPlaceSimilarity compares the birth places with the Extended
+// Damerau-Levenshtein similarity (missing values and prefixes forgiven).
+func BirthPlaceSimilarity(a, b voter.Record) float64 {
+	return simil.ExtendedDamerauLevenshtein(
+		normalizeMissing(a.Values[voter.IdxBirthPlace]),
+		normalizeMissing(b.Values[voter.IdxBirthPlace]))
+}
+
+// PairScore is the plausibility of a duplicate pair: the weighted average of
+// the four component similarities.
+func PairScore(a, b voter.Record) float64 {
+	scores := []float64{
+		NameSimilarity(a, b),
+		SexSimilarity(a, b),
+		YearOfBirthSimilarity(a, b),
+		BirthPlaceSimilarity(a, b),
+	}
+	return simil.WeightedAverage(scores, componentWeights)
+}
+
+// Scorer returns PairScore as a core.PairScorer for registration under
+// core.KindPlausibility.
+func Scorer() core.PairScorer { return PairScore }
+
+// Update computes (incrementally) the plausibility version-similarity map of
+// the dataset.
+func Update(d *core.Dataset) {
+	d.UpdateScores(core.KindPlausibility, PairScore)
+}
+
+// UpdateParallel is Update over a worker pool (workers <= 0 selects
+// GOMAXPROCS); the result is identical.
+func UpdateParallel(d *core.Dataset, workers int) {
+	d.UpdateScoresParallel(core.KindPlausibility, PairScore, workers)
+}
+
+// ClusterPlausibility returns the dataset's per-cluster plausibility: the
+// minimum pair score, because a cluster is already unsound if a single
+// record refers to another voter.
+func ClusterPlausibility(d *core.Dataset) []float64 {
+	return d.ClusterScores(core.KindPlausibility, core.AggMin)
+}

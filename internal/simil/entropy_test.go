@@ -1,0 +1,83 @@
+package simil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntropyKnown(t *testing.T) {
+	if got := Entropy(nil); got != 0 {
+		t.Errorf("Entropy(nil) = %v, want 0", got)
+	}
+	if got := Entropy([]string{"a", "a", "a"}); got != 0 {
+		t.Errorf("Entropy(constant) = %v, want 0", got)
+	}
+	if got := Entropy([]string{"a", "b"}); !almost(got, 1) {
+		t.Errorf("Entropy(a,b) = %v, want 1", got)
+	}
+	if got := Entropy([]string{"a", "b", "c", "d"}); !almost(got, 2) {
+		t.Errorf("Entropy(4 distinct) = %v, want 2", got)
+	}
+}
+
+func TestEntropyNonNegativeAndBounded(t *testing.T) {
+	f := func(col []string) bool {
+		h := Entropy(col)
+		if h < 0 {
+			return false
+		}
+		if len(col) == 0 {
+			return h == 0
+		}
+		// Entropy is at most log2(n).
+		return h <= math.Log2(float64(len(col)))+1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntropyWeightsSumToOne(t *testing.T) {
+	cols := [][]string{
+		{"a", "b", "c"},
+		{"x", "x", "x"},
+		{"1", "2", "1"},
+	}
+	w := EntropyWeights(cols)
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	if !almost(sum, 1) {
+		t.Errorf("weights sum = %v, want 1", sum)
+	}
+	if w[1] != 0 {
+		t.Errorf("constant column weight = %v, want 0", w[1])
+	}
+	if w[0] <= w[2] {
+		t.Errorf("more unique column should weigh more: %v vs %v", w[0], w[2])
+	}
+}
+
+func TestEntropyWeightsUniformFallback(t *testing.T) {
+	cols := [][]string{{"a", "a"}, {"b", "b"}}
+	w := EntropyWeights(cols)
+	if !almost(w[0], 0.5) || !almost(w[1], 0.5) {
+		t.Errorf("zero-entropy fallback weights = %v, want uniform", w)
+	}
+}
+
+func TestWeightedAverage(t *testing.T) {
+	got := WeightedAverage([]float64{1, 0}, []float64{0.75, 0.25})
+	if !almost(got, 0.75) {
+		t.Errorf("WeightedAverage = %v, want 0.75", got)
+	}
+	if got := WeightedAverage(nil, nil); got != 0 {
+		t.Errorf("WeightedAverage(empty) = %v, want 0", got)
+	}
+	// Zero weights fall back to the plain mean.
+	if got := WeightedAverage([]float64{1, 0}, []float64{0, 0}); !almost(got, 0.5) {
+		t.Errorf("WeightedAverage(zero weights) = %v, want 0.5", got)
+	}
+}

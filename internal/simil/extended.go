@@ -1,0 +1,28 @@
+package simil
+
+import "strings"
+
+// ExtendedDamerauLevenshtein is the paper's extension of the
+// Damerau-Levenshtein similarity for plausibility scoring (§6.2): the
+// comparison to a missing (empty) value yields 1, and if one value is a
+// prefix of the other (an abbreviation or a truncated entry) the similarity
+// is also 1, because neither case contradicts the records being duplicates.
+// Comparison is case-insensitive; both values are trimmed first.
+func ExtendedDamerauLevenshtein(a, b string) float64 {
+	a = strings.ToUpper(strings.TrimSpace(a))
+	b = strings.ToUpper(strings.TrimSpace(b))
+	if a == "" || b == "" {
+		return 1
+	}
+	// Strip a single trailing punctuation mark so "J." counts as a prefix of
+	// "JOHN" the way a human reader treats initials.
+	a = strings.TrimRight(a, ".")
+	b = strings.TrimRight(b, ".")
+	if a == "" || b == "" {
+		return 1
+	}
+	if strings.HasPrefix(a, b) || strings.HasPrefix(b, a) {
+		return 1
+	}
+	return DamerauLevenshteinSimilarity(a, b)
+}

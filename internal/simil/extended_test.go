@@ -1,0 +1,38 @@
+package simil
+
+import "testing"
+
+func TestExtendedDamerauLevenshteinForgiveness(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b string
+		want float64
+	}{
+		{"both empty", "", "", 1},
+		{"missing left", "", "WILLIAMS", 1},
+		{"missing right", "WILLIAMS", "", 1},
+		{"whitespace only is missing", "   ", "DEBRA", 1},
+		{"prefix abbreviation", "J", "JOHN", 1},
+		{"prefix with period", "J.", "JOHN", 1},
+		{"case-insensitive equal", "debra", "DEBRA", 1},
+		{"prefix longer", "JOHN", "JOHNATHAN", 1},
+		{"identical", "OEHRLE", "OEHRLE", 1},
+	}
+	for _, c := range cases {
+		if got := ExtendedDamerauLevenshtein(c.a, c.b); got != c.want {
+			t.Errorf("%s: ExtendedDamerauLevenshtein(%q, %q) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestExtendedDamerauLevenshteinStrictCases(t *testing.T) {
+	// A real disagreement must still reduce similarity below 1.
+	if got := ExtendedDamerauLevenshtein("FIELDS", "BETHEA"); got >= 0.5 {
+		t.Errorf("ExtendedDamerauLevenshtein(FIELDS, BETHEA) = %v, want < 0.5", got)
+	}
+	// A single typo keeps similarity high but below 1.
+	got := ExtendedDamerauLevenshtein("OEHRIE", "OEHRLE")
+	if got <= 0.7 || got >= 1 {
+		t.Errorf("ExtendedDamerauLevenshtein(OEHRIE, OEHRLE) = %v, want in (0.7, 1)", got)
+	}
+}

@@ -1,0 +1,62 @@
+package simil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestJaroKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"", "abc", 0},
+		{"abc", "abc", 1},
+		{"MARTHA", "MARHTA", 0.944444444444444},
+		{"DIXON", "DICKSONX", 0.766666666666667},
+		{"JELLYFISH", "SMELLYFISH", 0.896296296296296},
+	}
+	for _, c := range cases {
+		if got := Jaro(c.a, c.b); !almost(got, c.want) {
+			t.Errorf("Jaro(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.961111111111111},
+		{"DIXON", "DICKSONX", 0.813333333333333},
+		{"abc", "abc", 1},
+	}
+	for _, c := range cases {
+		if got := JaroWinkler(c.a, c.b); !almost(got, c.want) {
+			t.Errorf("JaroWinkler(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroSymmetry(t *testing.T) {
+	f := func(a, b string) bool {
+		return almost(Jaro(a, b), Jaro(b, a)) && almost(JaroWinkler(a, b), JaroWinkler(b, a))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroWinklerDominatesJaro(t *testing.T) {
+	f := func(a, b string) bool {
+		return JaroWinkler(a, b) >= Jaro(a, b)-1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package simil
+
+// Levenshtein returns the classic edit distance between a and b: the minimal
+// number of single-rune insertions, deletions and substitutions that turn a
+// into b.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinSimilarity normalizes Levenshtein to [0, 1]:
+// 1 - dist/max(len(a), len(b)). Two empty strings are identical (1).
+func LevenshteinSimilarity(a, b string) float64 {
+	m := maxInt(len([]rune(a)), len([]rune(b)))
+	if m == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// DamerauLevenshtein returns the optimal-string-alignment variant of the
+// Damerau-Levenshtein distance: insertions, deletions, substitutions and
+// transpositions of two adjacent runes each cost 1, and no substring is
+// edited more than once. This is the distance the paper uses to flag typos
+// (distance exactly 1, §6.4).
+func DamerauLevenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Three rolling rows: i-2, i-1, i.
+	prev2 := make([]int, len(rb)+1)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d := min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := prev2[j-2] + 1; t < d {
+					d = t
+				}
+			}
+			cur[j] = d
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[len(rb)]
+}
+
+// DamerauLevenshteinSimilarity normalizes DamerauLevenshtein to [0, 1]:
+// 1 - dist/max(len(a), len(b)). Two empty strings are identical (1).
+func DamerauLevenshteinSimilarity(a, b string) float64 {
+	m := maxInt(len([]rune(a)), len([]rune(b)))
+	if m == 0 {
+		return 1
+	}
+	return 1 - float64(DamerauLevenshtein(a, b))/float64(m)
+}

@@ -1,0 +1,81 @@
+package simil
+
+import "strings"
+
+// soundexCode maps an ASCII letter to its Soundex digit, or 0 for vowels and
+// the ignored letters H, W, Y.
+func soundexCode(r byte) byte {
+	switch r {
+	case 'B', 'F', 'P', 'V':
+		return '1'
+	case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+		return '2'
+	case 'D', 'T':
+		return '3'
+	case 'L':
+		return '4'
+	case 'M', 'N':
+		return '5'
+	case 'R':
+		return '6'
+	}
+	return 0
+}
+
+// Soundex returns the classic 4-character American Soundex code of s
+// (first letter + three digits, zero-padded), considering only ASCII
+// letters. For a string without any letter it returns the empty string.
+// The paper flags two non-identical values with equal Soundex codes as a
+// phonetic error (§6.4).
+func Soundex(s string) string {
+	s = strings.ToUpper(s)
+	// Find the first letter.
+	first := byte(0)
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			first = c
+			start = i
+			break
+		}
+	}
+	if first == 0 {
+		return ""
+	}
+	code := make([]byte, 0, 4)
+	code = append(code, first)
+	lastDigit := soundexCode(first)
+	for i := start + 1; i < len(s) && len(code) < 4; i++ {
+		c := s[i]
+		if c < 'A' || c > 'Z' {
+			// Non-letters reset the adjacency rule like a vowel would not:
+			// standard Soundex ignores them entirely.
+			continue
+		}
+		d := soundexCode(c)
+		if d == 0 {
+			// Vowels separate equal codes; H and W do not (simplified:
+			// treat all zero-coded letters as separators, the common
+			// implementation choice).
+			if c == 'A' || c == 'E' || c == 'I' || c == 'O' || c == 'U' || c == 'Y' {
+				lastDigit = 0
+			}
+			continue
+		}
+		if d != lastDigit {
+			code = append(code, d)
+			lastDigit = d
+		}
+	}
+	for len(code) < 4 {
+		code = append(code, '0')
+	}
+	return string(code)
+}
+
+// SoundexEqual reports whether a and b have equal non-empty Soundex codes.
+func SoundexEqual(a, b string) bool {
+	ca := Soundex(a)
+	return ca != "" && ca == Soundex(b)
+}

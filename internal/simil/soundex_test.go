@@ -1,0 +1,65 @@
+package simil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSoundexKnown(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Ashcraft", "A261"}, // H does not separate equal codes
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"}, // F shares the first letter's code and is dropped
+		{"BAILEY", "B400"},
+		{"BAYLEE", "B400"},
+		{"", ""},
+		{"123", ""},
+		{"  smith ", "S530"},
+		{"SMYTHE", "S530"},
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSoundexEqual(t *testing.T) {
+	if !SoundexEqual("BAILEY", "BAYLEE") {
+		t.Error("SoundexEqual(BAILEY, BAYLEE) = false, want true")
+	}
+	if SoundexEqual("FIELDS", "BETHEA") {
+		t.Error("SoundexEqual(FIELDS, BETHEA) = true, want false")
+	}
+	if SoundexEqual("", "") {
+		t.Error("SoundexEqual on empty strings should be false (no code)")
+	}
+}
+
+func TestSoundexFormat(t *testing.T) {
+	f := func(s string) bool {
+		code := Soundex(s)
+		if code == "" {
+			return true
+		}
+		if len(code) != 4 {
+			return false
+		}
+		if code[0] < 'A' || code[0] > 'Z' {
+			return false
+		}
+		for i := 1; i < 4; i++ {
+			if code[i] < '0' || code[i] > '6' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,313 @@
+// Package synth simulates the North Carolina voter register: a longitudinal
+// population whose members register, re-register at elections through
+// manually filled forms (injecting realistic entry errors), move, marry,
+// and deregister, emitted as snapshot TSV files in the 90-attribute schema.
+// It is the stand-in for the real register described in DESIGN.md §2: the
+// generation pipeline only depends on the input's shape (stable object ids,
+// redundant rows across snapshots, outdated values, entry errors), all of
+// which the simulator reproduces with controllable rates.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/voter"
+)
+
+// person is the ground truth for one voter. The stored record (the values a
+// clerk last entered) is re-created only when the voter re-registers; until
+// then every snapshot repeats it verbatim, which is what floods the combined
+// dataset with exact duplicates (§3.1.3 of the paper).
+type person struct {
+	ncid      string
+	regNum    string
+	sexCode   string // "F", "M" or "U"
+	first     string
+	middle    string
+	last      string
+	suffix    string
+	yearBirth int
+	birth     string // birth place (state or country)
+	raceIdx   int
+	ethnicIdx int
+	partyIdx  int
+	countyIdx int
+
+	houseNum   string
+	streetDir  string
+	streetName string
+	streetType string
+	unitNum    string
+	city       string
+	zip        string
+	phone      string
+	hasLicense bool
+
+	hasDistrict bool // whether this voter's county publishes district data
+	precinct    int  // deterministic district seed
+
+	registered string // registration date
+	cancelled  string // cancellation date, empty while active
+	active     bool
+
+	// stored is the last manually entered form, with its entry errors;
+	// nil until first registration.
+	stored *voter.Record
+}
+
+// newPerson draws a fresh voter with ground-truth attributes.
+func newPerson(rng *rand.Rand, ncid, regNum string, yearNow int) *person {
+	p := &person{ncid: ncid, regNum: regNum, active: true}
+	if rng.Intn(100) < 2 {
+		p.sexCode = "U"
+	} else if rng.Intn(2) == 0 {
+		p.sexCode = "F"
+		p.first = femaleFirstNames[rng.Intn(len(femaleFirstNames))]
+	} else {
+		p.sexCode = "M"
+		p.first = maleFirstNames[rng.Intn(len(maleFirstNames))]
+	}
+	if p.first == "" { // undesignated sex: draw from either pool
+		if rng.Intn(2) == 0 {
+			p.first = femaleFirstNames[rng.Intn(len(femaleFirstNames))]
+		} else {
+			p.first = maleFirstNames[rng.Intn(len(maleFirstNames))]
+		}
+	}
+	if rng.Float64() < 0.8 {
+		p.middle = middleNames[rng.Intn(len(middleNames))]
+	}
+	p.last = lastNames[rng.Intn(len(lastNames))]
+	p.suffix = suffixes[rng.Intn(len(suffixes))]
+	p.yearBirth = yearNow - (18 + rng.Intn(72)) // age 18..89
+	p.birth = birthStates[rng.Intn(len(birthStates))]
+	p.raceIdx = rng.Intn(len(races))
+	p.ethnicIdx = rng.Intn(len(ethnics))
+	p.partyIdx = rng.Intn(len(parties))
+	p.countyIdx = rng.Intn(len(counties))
+	p.hasDistrict = p.countyIdx < len(counties)/2 // urban counties publish districts
+	p.precinct = 1 + rng.Intn(60)
+	p.hasLicense = rng.Float64() < 0.9
+	p.newAddress(rng)
+	return p
+}
+
+// newAddress draws the initial residence and phone number for p.
+func (p *person) newAddress(rng *rand.Rand) {
+	p.moveWithinCity(rng)
+	p.city = cities[rng.Intn(len(cities))]
+	p.zip = strconv.Itoa(27000 + rng.Intn(2000))
+	p.phone = fmt.Sprintf("%03d%03d%04d", 200+rng.Intn(800), 200+rng.Intn(800), rng.Intn(10000))
+}
+
+// moveWithinCity redraws only the street-level address: city, zip and phone
+// stay — the common case of a local move, which leaves the outdated rows
+// only moderately heterogeneous.
+func (p *person) moveWithinCity(rng *rand.Rand) {
+	p.houseNum = strconv.Itoa(1 + rng.Intn(9999))
+	p.streetDir = streetDirs[rng.Intn(len(streetDirs))]
+	p.streetName = streetNames[rng.Intn(len(streetNames))]
+	p.streetType = streetTypes[rng.Intn(len(streetTypes))]
+	if rng.Float64() < 0.12 {
+		p.unitNum = "APT " + strconv.Itoa(1+rng.Intn(400))
+	} else {
+		p.unitNum = ""
+	}
+	p.precinct = 1 + rng.Intn(60)
+}
+
+// moveToNewCity redraws the whole residence; about half the movers also
+// change their phone number.
+func (p *person) moveToNewCity(rng *rand.Rand) {
+	p.moveWithinCity(rng)
+	p.city = cities[rng.Intn(len(cities))]
+	p.zip = strconv.Itoa(27000 + rng.Intn(2000))
+	if rng.Float64() < 0.5 {
+		p.phone = fmt.Sprintf("%03d%03d%04d", 200+rng.Intn(800), 200+rng.Intn(800), rng.Intn(10000))
+	}
+}
+
+// ageAt returns the person's age in the given year.
+func (p *person) ageAt(year int) int { return year - p.yearBirth }
+
+// ageGroupLabel renders the age-group attribute per format era, one of the
+// notations the paper observed drifting ("66 AND ABOVE" vs "Age Over 66").
+func ageGroupLabel(age, era int) string {
+	switch {
+	case age < 26:
+		if era == 0 {
+			return "18 - 25"
+		}
+		return "Age 18 - 25"
+	case age < 41:
+		if era == 0 {
+			return "26 - 40"
+		}
+		return "Age 26 - 40"
+	case age < 66:
+		if era == 0 {
+			return "41 - 65"
+		}
+		return "Age 41 - 65"
+	default:
+		if era == 0 {
+			return "66 AND ABOVE"
+		}
+		return "Age Over 66"
+	}
+}
+
+// ordinal renders 1 -> "1ST", 2 -> "2ND", 3 -> "3RD", 11 -> "11TH" etc.
+func ordinal(n int) string {
+	suffix := "TH"
+	switch {
+	case n%100 >= 11 && n%100 <= 13:
+	case n%10 == 1:
+		suffix = "ST"
+	case n%10 == 2:
+		suffix = "ND"
+	case n%10 == 3:
+		suffix = "RD"
+	}
+	return strconv.Itoa(n) + suffix
+}
+
+// districtFormats renders the drifting district descriptions. Era 0 uses the
+// historic notation, era 1 the renamed one — mirroring the paper's examples
+// ('64TH HOUSE' → 'NC HOUSE DISTRICT 64', '1ST CONGRESSIONAL' →
+// 'CO. DISTRICT 1').
+func houseDesc(n, era int) string {
+	if era == 0 {
+		return ordinal(n) + " HOUSE"
+	}
+	return "NC HOUSE DISTRICT " + strconv.Itoa(n)
+}
+
+func congDesc(n, era int) string {
+	if era == 0 {
+		return ordinal(n) + " CONGRESSIONAL"
+	}
+	return "CO. DISTRICT " + strconv.Itoa(n)
+}
+
+func senateDesc(n, era int) string {
+	if era == 0 {
+		return ordinal(n) + " SENATE"
+	}
+	return "NC SENATE DISTRICT " + strconv.Itoa(n)
+}
+
+// enterForm renders p's ground truth into a fresh record the way a clerk
+// would copy a handwritten form: the person and election attributes are
+// filled from truth, then the caller passes the record through the
+// Corruptor. Meta, district and per-snapshot fields are left for emission
+// time.
+func (p *person) enterForm() voter.Record {
+	r := voter.NewRecord()
+	r.SetName("last_name", p.last)
+	r.SetName("first_name", p.first)
+	r.SetName("midl_name", p.middle)
+	r.SetName("name_sufx_cd", p.suffix)
+	r.SetName("sex_code", p.sexCode)
+	switch p.sexCode {
+	case "F":
+		r.SetName("sex", "FEMALE")
+	case "M":
+		r.SetName("sex", "MALE")
+	default:
+		r.SetName("sex", "UNDESIGNATED")
+	}
+	r.SetName("race_code", races[p.raceIdx].code)
+	r.SetName("race_desc", races[p.raceIdx].desc)
+	r.SetName("ethnic_code", ethnics[p.ethnicIdx].code)
+	r.SetName("ethnic_desc", ethnics[p.ethnicIdx].desc)
+	r.SetName("birth_place", p.birth)
+	r.SetName("phone_num", p.phone)
+	r.SetName("house_num", p.houseNum)
+	r.SetName("street_dir", p.streetDir)
+	r.SetName("street_name", p.streetName)
+	r.SetName("street_type_cd", p.streetType)
+	r.SetName("unit_num", p.unitNum)
+	r.SetName("res_city_desc", p.city)
+	r.SetName("state_cd", "NC")
+	r.SetName("zip_code", p.zip)
+	addr := strings.TrimSpace(p.houseNum + " " + strings.TrimSpace(p.streetDir+" "+p.streetName) + " " + p.streetType)
+	r.SetName("mail_addr1", addr)
+	r.SetName("mail_city", p.city)
+	r.SetName("mail_state", "NC")
+	r.SetName("mail_zipcode", p.zip)
+	r.SetName("area_cd", p.phone[:3])
+	if p.hasLicense {
+		r.SetName("drivers_lic", "Y")
+	} else {
+		r.SetName("drivers_lic", "N")
+	}
+	r.SetName("party_cd", parties[p.partyIdx].code)
+	r.SetName("party_desc", parties[p.partyIdx].desc)
+	r.SetName("county_desc", counties[p.countyIdx])
+	// District columns are filled at export time (see Simulator.emit): the
+	// register derives them from the registration, and a format drift
+	// re-renders them for every row at once.
+	// Election attributes: the last election the form was filed at.
+	r.SetName("vtd_abbrv", fmt.Sprintf("%02d", p.precinct))
+	r.SetName("vtd_desc", "VOTING DISTRICT "+fmt.Sprintf("%02d", p.precinct))
+	return r
+}
+
+// fillDistricts derives the 38 district columns deterministically from the
+// person's county and precinct, rendered per format era.
+func (p *person) fillDistricts(r *voter.Record, era int) {
+	county := p.countyIdx + 1
+	house := 1 + (p.countyIdx*5+p.precinct)%120
+	senate := 1 + (p.countyIdx*3+p.precinct)%50
+	cong := 1 + (p.countyIdx+p.precinct)%13
+	set := func(name, v string) { r.SetName(name, v) }
+	set("precinct_abbrv", fmt.Sprintf("%02d", p.precinct))
+	set("precinct_desc", "PRECINCT "+fmt.Sprintf("%02d", p.precinct))
+	set("municipality_abbrv", p.city[:minInt(3, len(p.city))])
+	set("municipality_desc", p.city)
+	set("ward_abbrv", strconv.Itoa(1+p.precinct%8))
+	set("ward_desc", "WARD "+strconv.Itoa(1+p.precinct%8))
+	set("cong_dist_abbrv", strconv.Itoa(cong))
+	set("cong_dist_desc", congDesc(cong, era))
+	set("super_court_abbrv", fmt.Sprintf("%02d%s", county%30+1, "A"))
+	set("super_court_desc", "SUPERIOR COURT "+fmt.Sprintf("%02d%s", county%30+1, "A"))
+	set("judic_dist_abbrv", strconv.Itoa(county%30+1))
+	set("judic_dist_desc", "JUDICIAL DISTRICT "+strconv.Itoa(county%30+1))
+	set("nc_senate_abbrv", strconv.Itoa(senate))
+	set("nc_senate_desc", senateDesc(senate, era))
+	set("nc_house_abbrv", strconv.Itoa(house))
+	set("nc_house_desc", houseDesc(house, era))
+	set("county_commiss_abbrv", strconv.Itoa(1+p.precinct%7))
+	set("county_commiss_desc", "COMMISSIONER DISTRICT "+strconv.Itoa(1+p.precinct%7))
+	set("township_abbrv", strconv.Itoa(1+p.precinct%12))
+	set("township_desc", "TOWNSHIP "+strconv.Itoa(1+p.precinct%12))
+	set("school_dist_abbrv", strconv.Itoa(1+p.precinct%9))
+	set("school_dist_desc", "SCHOOL DISTRICT "+strconv.Itoa(1+p.precinct%9))
+	set("fire_dist_abbrv", strconv.Itoa(1+p.precinct%15))
+	set("fire_dist_desc", "FIRE DISTRICT "+strconv.Itoa(1+p.precinct%15))
+	set("water_dist_abbrv", strconv.Itoa(1+p.precinct%10))
+	set("water_dist_desc", "WATER DISTRICT "+strconv.Itoa(1+p.precinct%10))
+	set("sewer_dist_abbrv", strconv.Itoa(1+p.precinct%10))
+	set("sewer_dist_desc", "SEWER DISTRICT "+strconv.Itoa(1+p.precinct%10))
+	set("sanit_dist_abbrv", strconv.Itoa(1+p.precinct%6))
+	set("sanit_dist_desc", "SANITARY DISTRICT "+strconv.Itoa(1+p.precinct%6))
+	set("rescue_dist_abbrv", strconv.Itoa(1+p.precinct%11))
+	set("rescue_dist_desc", "RESCUE DISTRICT "+strconv.Itoa(1+p.precinct%11))
+	set("munic_dist_abbrv", p.city[:minInt(3, len(p.city))])
+	set("munic_dist_desc", p.city)
+	set("dist_1_abbrv", strconv.Itoa(1+p.precinct%20))
+	set("dist_1_desc", "PROSECUTORIAL DISTRICT "+strconv.Itoa(1+p.precinct%20))
+	set("dist_2_abbrv", "")
+	set("dist_2_desc", "")
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

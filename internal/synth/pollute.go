@@ -1,0 +1,89 @@
+package synth
+
+import (
+	"strconv"
+
+	"repro/internal/corrupt"
+	"repro/internal/voter"
+)
+
+// PolluteConfig parameterizes the pollution-tool baseline: a GeCo/Febrl-style
+// generator that creates each duplicate cluster from scratch by corrupting
+// copies of one original record (§7 of the paper discusses this class of
+// tools). It exists as the comparison point for the ablation benches: it is
+// fast and controllable but — unlike the historical simulator — cannot
+// produce genuine outdated values, only synthetic noise.
+type PolluteConfig struct {
+	Seed        int64
+	Clusters    int            // number of objects to generate
+	MaxDups     int            // duplicates per original drawn from [0, MaxDups]
+	Errors      corrupt.Config // corruption applied to each duplicate copy
+	Date        string         // snapshot date stamped on every record
+	ExactShare  float64        // fraction of duplicates left uncorrupted
+	MissingDist bool           // leave the district columns empty (default anyway)
+}
+
+// DefaultPolluteConfig returns a baseline configuration comparable to the
+// simulator's default error mix.
+func DefaultPolluteConfig(seed int64, clusters int) PolluteConfig {
+	return PolluteConfig{
+		Seed:       seed,
+		Clusters:   clusters,
+		MaxDups:    4,
+		Errors:     corrupt.Heavy(),
+		Date:       "2020-01-01",
+		ExactShare: 0.05,
+	}
+}
+
+// Pollute generates a single synthetic snapshot of labeled duplicate
+// clusters from scratch. The NCID column carries the gold standard exactly
+// as in the historical pipeline, so the output feeds the same downstream
+// tooling.
+func Pollute(cfg PolluteConfig) voter.Snapshot {
+	rng := corrupt.NewRand(cfg.Seed, 10)
+	corr := corrupt.NewCorruptor(cfg.Errors, corrupt.NewRand(cfg.Seed, 11))
+	year := yearOf(cfg.Date)
+	if year == 0 {
+		year = 2020
+	}
+	snap := voter.Snapshot{Date: cfg.Date}
+	for c := 0; c < cfg.Clusters; c++ {
+		ncid := pollNCID(c)
+		p := newPerson(rng, ncid, "", year)
+		orig := p.enterForm()
+		stampPolluted(&orig, p, ncid, cfg.Date, year, c*100)
+		snap.Records = append(snap.Records, orig)
+		dups := 0
+		if cfg.MaxDups > 0 {
+			dups = rng.Intn(cfg.MaxDups + 1)
+		}
+		for d := 0; d < dups; d++ {
+			r := orig.Clone()
+			if rng.Float64() >= cfg.ExactShare {
+				corr.Apply(&r)
+			}
+			stampPolluted(&r, p, ncid, cfg.Date, year, c*100+d+1)
+			snap.Records = append(snap.Records, r)
+		}
+	}
+	return snap
+}
+
+// pollNCID renders the synthetic cluster id for the pollution baseline.
+func pollNCID(c int) string {
+	return "PX" + strconv.Itoa(c+1)
+}
+
+// stampPolluted fills the meta columns of a polluted record.
+func stampPolluted(r *voter.Record, p *person, ncid, date string, year, regNum int) {
+	r.SetName("ncid", ncid)
+	r.SetName("snapshot_dt", date)
+	r.SetName("load_dt", date)
+	r.SetName("registr_dt", date)
+	r.SetName("voter_reg_num", strconv.Itoa(regNum))
+	r.SetName("voter_status_desc", "ACTIVE")
+	r.SetName("voter_status_reason_desc", "VERIFIED")
+	r.SetName("age", strconv.Itoa(p.ageAt(year)))
+	r.SetName("age_group", ageGroupLabel(p.ageAt(year), 0))
+}

@@ -1,0 +1,337 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/voter"
+)
+
+// smallConfig returns a fast configuration for tests.
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig(seed, 300)
+	cfg.Snapshots = Calendar(2008, 6)
+	return cfg
+}
+
+func TestCalendar(t *testing.T) {
+	dates := Calendar(2008, 3)
+	want := []string{"2008-01-01", "2008-11-03", "2009-01-01", "2010-01-01", "2010-11-03"}
+	if len(dates) != len(want) {
+		t.Fatalf("Calendar = %v", dates)
+	}
+	for i := range want {
+		if dates[i] != want[i] {
+			t.Errorf("Calendar[%d] = %s, want %s", i, dates[i], want[i])
+		}
+	}
+}
+
+func TestOrdinal(t *testing.T) {
+	cases := map[int]string{1: "1ST", 2: "2ND", 3: "3RD", 4: "4TH", 11: "11TH", 12: "12TH", 13: "13TH", 21: "21ST", 64: "64TH", 102: "102ND"}
+	for n, want := range cases {
+		if got := ordinal(n); got != want {
+			t.Errorf("ordinal(%d) = %s, want %s", n, got, want)
+		}
+	}
+}
+
+func TestSimulatorDeterminism(t *testing.T) {
+	a := Generate(smallConfig(7))
+	b := Generate(smallConfig(7))
+	if len(a) != len(b) {
+		t.Fatalf("snapshot counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Records) != len(b[i].Records) {
+			t.Fatalf("snapshot %d record counts differ", i)
+		}
+		for j := range a[i].Records {
+			for k := range a[i].Records[j].Values {
+				if a[i].Records[j].Values[k] != b[i].Records[j].Values[k] {
+					t.Fatalf("snapshot %d record %d column %d differs", i, j, k)
+				}
+			}
+		}
+	}
+	c := Generate(smallConfig(8))
+	if len(c[0].Records) == len(a[0].Records) && c[0].Records[0].GetName("last_name") == a[0].Records[0].GetName("last_name") {
+		t.Error("different seeds produced identical first records")
+	}
+}
+
+func TestFirstSnapshotPopulation(t *testing.T) {
+	snaps := Generate(smallConfig(1))
+	if got := len(snaps[0].Records); got != 300 {
+		t.Errorf("first snapshot has %d records, want 300", got)
+	}
+	// All first-snapshot records are distinct objects.
+	ids := map[string]bool{}
+	for _, r := range snaps[0].Records {
+		ids[r.NCID()] = true
+	}
+	if len(ids) != 300 {
+		t.Errorf("first snapshot has %d distinct NCIDs, want 300", len(ids))
+	}
+}
+
+func TestPopulationGrowsAcrossSnapshots(t *testing.T) {
+	snaps := Generate(smallConfig(2))
+	first, last := len(snaps[0].Records), len(snaps[len(snaps)-1].Records)
+	if last <= first {
+		t.Errorf("population did not grow: %d -> %d", first, last)
+	}
+	// New NCIDs appear after the first snapshot.
+	ids := map[string]bool{}
+	for _, r := range snaps[0].Records {
+		ids[r.NCID()] = true
+	}
+	newOnes := 0
+	for _, r := range snaps[len(snaps)-1].Records {
+		if !ids[r.NCID()] {
+			newOnes++
+		}
+	}
+	if newOnes == 0 {
+		t.Error("no new objects in later snapshots")
+	}
+}
+
+func TestSnapshotRowsWellFormed(t *testing.T) {
+	snaps := Generate(smallConfig(3))
+	for si, s := range snaps {
+		for ri, r := range s.Records {
+			if len(r.Values) != voter.NumAttributes {
+				t.Fatalf("snapshot %d record %d has %d values", si, ri, len(r.Values))
+			}
+			if r.NCID() == "" {
+				t.Fatalf("snapshot %d record %d misses NCID", si, ri)
+			}
+			if r.SnapshotDate() != s.Date {
+				t.Fatalf("snapshot %d record %d date %q != %q", si, ri, r.SnapshotDate(), s.Date)
+			}
+			if strings.ContainsAny(strings.Join(r.Values, ""), "\t\n") {
+				t.Fatalf("snapshot %d record %d contains tab/newline", si, ri)
+			}
+		}
+	}
+}
+
+func TestCombinedSnapshotsContainExactDuplicates(t *testing.T) {
+	snaps := Generate(smallConfig(4))
+	seen := map[voter.Hash]int{}
+	total := 0
+	for _, s := range snaps {
+		for _, r := range s.Records {
+			seen[voter.HashRecord(r, voter.HashTrimmed)]++
+			total++
+		}
+	}
+	removed := total - len(seen)
+	// The dominant effect of combining snapshots must be massive exact
+	// redundancy (the paper saw >67 %; we require a majority).
+	if float64(removed)/float64(total) < 0.5 {
+		t.Errorf("only %d/%d rows are near-exact duplicates; want > 50%%", removed, total)
+	}
+}
+
+func TestTrimmingRemovesMoreThanExact(t *testing.T) {
+	snaps := Generate(smallConfig(5))
+	exact := map[voter.Hash]bool{}
+	trimmed := map[voter.Hash]bool{}
+	total := 0
+	for _, s := range snaps {
+		for _, r := range s.Records {
+			exact[voter.HashRecord(r, voter.HashExact)] = true
+			trimmed[voter.HashRecord(r, voter.HashTrimmed)] = true
+			total++
+		}
+	}
+	if len(trimmed) >= len(exact) {
+		t.Errorf("trimming should collapse more rows: exact-distinct %d, trimmed-distinct %d", len(exact), len(trimmed))
+	}
+	person := map[voter.Hash]bool{}
+	for _, s := range snaps {
+		for _, r := range s.Records {
+			person[voter.HashRecord(r, voter.HashPersonData)] = true
+		}
+	}
+	if len(person) >= len(trimmed) {
+		t.Errorf("person-data hashing should collapse more rows: trimmed %d, person %d", len(trimmed), len(person))
+	}
+}
+
+func TestWithinSnapshotMultiRegistrations(t *testing.T) {
+	cfg := smallConfig(6)
+	cfg.Snapshots = Calendar(2008, 10)
+	snaps := Generate(cfg)
+	last := snaps[len(snaps)-1]
+	perID := map[string]int{}
+	for _, r := range last.Records {
+		perID[r.NCID()]++
+	}
+	multi := 0
+	for _, n := range perID {
+		if n > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no voter has multiple registrations within one snapshot")
+	}
+	// Within a snapshot, at most one record per NCID is not REMOVED (§2).
+	activePer := map[string]int{}
+	for _, r := range last.Records {
+		if strings.TrimSpace(r.GetName("voter_status_desc")) != "REMOVED" {
+			activePer[r.NCID()]++
+		}
+	}
+	for id, n := range activePer {
+		if n > 1 {
+			t.Fatalf("NCID %s has %d non-removed records in one snapshot", id, n)
+		}
+	}
+}
+
+func TestFormatDriftChangesDistrictDescriptions(t *testing.T) {
+	cfg := smallConfig(9)
+	cfg.Snapshots = Calendar(2008, 8)
+	cfg.DriftAt = []int{4}
+	snaps := Generate(cfg)
+	hasOld, hasNew := false, false
+	for si, s := range snaps {
+		for _, r := range s.Records {
+			d := r.GetName("nc_house_desc")
+			if strings.HasSuffix(d, " HOUSE") && d != "" {
+				if si >= 4 {
+					t.Fatalf("old house format %q after drift (snapshot %d)", d, si)
+				}
+				hasOld = true
+			}
+			if strings.HasPrefix(d, "NC HOUSE DISTRICT") {
+				if si < 4 {
+					t.Fatalf("new house format %q before drift (snapshot %d)", d, si)
+				}
+				hasNew = true
+			}
+		}
+	}
+	if !hasOld || !hasNew {
+		t.Errorf("drift eras not both observed: old=%v new=%v", hasOld, hasNew)
+	}
+}
+
+func TestUnsoundClustersExist(t *testing.T) {
+	cfg := smallConfig(10)
+	cfg.Snapshots = Calendar(2008, 10)
+	cfg.UnsoundRate = 0.5 // force misuse for the test
+	cfg.DeregisterRate = 0.05
+	snaps := Generate(cfg)
+	// Look for an NCID with two very different last names across snapshots
+	// where neither is derivable from the other.
+	names := map[string]map[string]bool{}
+	for _, s := range snaps {
+		for _, r := range s.Records {
+			ln := strings.TrimSpace(strings.ToUpper(r.GetName("last_name")))
+			sx := strings.TrimSpace(r.GetName("sex_code"))
+			if ln == "" {
+				continue
+			}
+			key := r.NCID()
+			if names[key] == nil {
+				names[key] = map[string]bool{}
+			}
+			names[key][ln+"/"+sx] = true
+		}
+	}
+	many := 0
+	for _, set := range names {
+		if len(set) >= 3 {
+			many++
+		}
+	}
+	if many == 0 {
+		t.Error("no candidate unsound clusters generated at UnsoundRate=0.5")
+	}
+}
+
+func TestPaddedSnapshotsProduceWhitespace(t *testing.T) {
+	cfg := smallConfig(11)
+	cfg.PadSnapshotRate = 1.0
+	snaps := Generate(cfg)
+	r := snaps[0].Records[0]
+	v := r.GetName("county_desc")
+	if v == strings.TrimSpace(v) {
+		t.Errorf("padded snapshot has no trailing whitespace in county_desc: %q", v)
+	}
+}
+
+func TestWriteAllRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig(12)
+	cfg.Snapshots = Calendar(2008, 2)
+	paths, err := WriteAll(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(cfg.Snapshots) {
+		t.Fatalf("wrote %d files, want %d", len(paths), len(cfg.Snapshots))
+	}
+	snap, err := voter.ReadSnapshotFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Records) == 0 {
+		t.Error("first snapshot file empty")
+	}
+}
+
+func TestPolluteBaseline(t *testing.T) {
+	cfg := DefaultPolluteConfig(13, 100)
+	snap := Pollute(cfg)
+	if len(snap.Records) < 100 {
+		t.Fatalf("pollute produced %d records, want >= 100", len(snap.Records))
+	}
+	clusters := map[string]int{}
+	for _, r := range snap.Records {
+		if len(r.Values) != voter.NumAttributes {
+			t.Fatal("malformed record width")
+		}
+		clusters[r.NCID()]++
+	}
+	if len(clusters) != 100 {
+		t.Errorf("pollute produced %d clusters, want 100", len(clusters))
+	}
+	multi := 0
+	for _, n := range clusters {
+		if n > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("pollute produced no duplicate clusters")
+	}
+	// Determinism.
+	again := Pollute(cfg)
+	if len(again.Records) != len(snap.Records) {
+		t.Error("pollute is not deterministic")
+	}
+}
+
+func BenchmarkSimulatorSnapshot(b *testing.B) {
+	cfg := DefaultConfig(1, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := New(cfg)
+		sim.Next()
+	}
+}
+
+func BenchmarkPollute(b *testing.B) {
+	cfg := DefaultPolluteConfig(1, 2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Pollute(cfg)
+	}
+}

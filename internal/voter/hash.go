@@ -1,0 +1,81 @@
+package voter
+
+import (
+	"crypto/md5"
+	"strings"
+)
+
+// Hash is the 128-bit MD5 digest of a record's relevant attribute values.
+// The paper uses MD5 because a rare collision merely loses one duplicate
+// record and "does not have severe consequences" (§4, footnote 6).
+type Hash [md5.Size]byte
+
+// HashMode selects which attributes participate in the record hash and thus
+// which records count as (near-)exact duplicates (§4's four generation
+// runs). In every mode the volatile meta and time-related attributes — the
+// four dates (snapshot, load, registration, cancellation) and the age — are
+// excluded from the concatenation, exactly as in the paper; the derived
+// age_group and the bookkeeping voter_reg_num are excluded for the same
+// reason.
+type HashMode int
+
+const (
+	// HashExact hashes all relevant attributes verbatim (no trimming) —
+	// the paper's "exact" removal run.
+	HashExact HashMode = iota
+	// HashTrimmed hashes all relevant attributes after removing leading
+	// and trailing whitespace — the paper's "trimming" run.
+	HashTrimmed
+	// HashPersonData hashes only the person-group attributes, trimmed —
+	// the paper's "person data" run.
+	HashPersonData
+)
+
+// hashExcluded reports whether column i is excluded from hashing in every
+// mode (§3.1.3 "Meta Data Attributes" and "Time-related Attributes").
+func hashExcluded(i int) bool {
+	switch i {
+	case IdxSnapshotDate, IdxLoadDate, IdxRegistrDate, IdxCancellationDt,
+		IdxAge, IdxAgeGroup, IdxVoterRegNum:
+		return true
+	}
+	return false
+}
+
+// HashColumns returns the column indices included in the given mode's hash,
+// in canonical order.
+func HashColumns(mode HashMode) []int {
+	var cols []int
+	for i, a := range Attributes {
+		if hashExcluded(i) {
+			continue
+		}
+		if mode == HashPersonData && a.Group != GroupPerson {
+			continue
+		}
+		cols = append(cols, i)
+	}
+	return cols
+}
+
+// unit separator: cannot occur in TSV values, so concatenation is
+// collision-free across column boundaries.
+const hashSep = "\x1f"
+
+// HashRecord returns the record's MD5 hash under the given mode. In the
+// trimmed and person-data modes the values are trimmed before hashing.
+func HashRecord(r Record, mode HashMode) Hash {
+	h := md5.New()
+	trim := mode != HashExact
+	for _, i := range HashColumns(mode) {
+		v := r.Values[i]
+		if trim {
+			v = strings.TrimSpace(v)
+		}
+		h.Write([]byte(v))
+		h.Write([]byte(hashSep))
+	}
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}

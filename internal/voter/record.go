@@ -1,0 +1,117 @@
+package voter
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is one row of a voter-register snapshot: one value per schema
+// attribute, in canonical column order. Values may contain leading/trailing
+// whitespace exactly as distributed; see Trimmed.
+type Record struct {
+	Values []string
+}
+
+// NewRecord returns an empty record with all 90 values blank.
+func NewRecord() Record {
+	return Record{Values: make([]string, NumAttributes)}
+}
+
+// Clone returns a deep copy of r.
+func (r Record) Clone() Record {
+	v := make([]string, len(r.Values))
+	copy(v, r.Values)
+	return Record{Values: v}
+}
+
+// Get returns the value at column index i.
+func (r Record) Get(i int) string { return r.Values[i] }
+
+// Set assigns the value at column index i.
+func (r *Record) Set(i int, v string) { r.Values[i] = v }
+
+// GetName returns the value of the named attribute; it panics on unknown
+// names (schema names are fixed at compile time).
+func (r Record) GetName(name string) string { return r.Values[MustIndex(name)] }
+
+// SetName assigns the value of the named attribute.
+func (r *Record) SetName(name, v string) { r.Values[MustIndex(name)] = v }
+
+// NCID returns the record's gold-standard object id.
+func (r Record) NCID() string { return strings.TrimSpace(r.Values[IdxNCID]) }
+
+// SnapshotDate returns the snapshot date value (YYYY-MM-DD).
+func (r Record) SnapshotDate() string { return strings.TrimSpace(r.Values[IdxSnapshotDate]) }
+
+// Age returns the age value as an int, or -1 if it is missing or not a
+// number.
+func (r Record) Age() int {
+	a, err := strconv.Atoi(strings.TrimSpace(r.Values[IdxAge]))
+	if err != nil {
+		return -1
+	}
+	return a
+}
+
+// YearOfBirth derives the year of birth as snapshot year minus age (§6.2).
+// It returns 0 if either component is missing or malformed. The paper keeps
+// this value internal (privacy) and so do we: it is computed, never stored.
+func (r Record) YearOfBirth() int {
+	age := r.Age()
+	if age < 0 {
+		return 0
+	}
+	t, err := time.Parse("2006-01-02", r.SnapshotDate())
+	if err != nil {
+		return 0
+	}
+	return t.Year() - age
+}
+
+// Trimmed returns a copy of r with leading and trailing whitespace removed
+// from every value — the preparation step of the paper's "trimming" removal
+// mode (§3.1.3).
+func (r Record) Trimmed() Record {
+	out := NewRecord()
+	for i, v := range r.Values {
+		out.Values[i] = strings.TrimSpace(v)
+	}
+	return out
+}
+
+// IsMissing reports whether a single attribute value denotes missing
+// information: empty, whitespace-only, or one of the conventional
+// missing markers.
+func IsMissing(v string) bool {
+	switch strings.ToUpper(strings.TrimSpace(v)) {
+	case "", "-", "N/A", "NA", "NULL", "UNKNOWN", "UNK":
+		return true
+	}
+	return false
+}
+
+// String renders a compact human-readable form (name values + NCID) for
+// diagnostics.
+func (r Record) String() string {
+	return fmt.Sprintf("%s: %s, %s %s", r.NCID(),
+		strings.TrimSpace(r.Values[IdxLastName]),
+		strings.TrimSpace(r.Values[IdxFirstName]),
+		strings.TrimSpace(r.Values[IdxMiddleName]))
+}
+
+// Snapshot is one published register file: a snapshot date plus its rows.
+type Snapshot struct {
+	Date    string // YYYY-MM-DD
+	Records []Record
+}
+
+// Year returns the snapshot's calendar year, or 0 for malformed dates.
+func (s Snapshot) Year() int {
+	t, err := time.Parse("2006-01-02", s.Date)
+	if err != nil {
+		return 0
+	}
+	return t.Year()
+}

@@ -1,0 +1,28 @@
+# Development targets. `make ci` is the gate: vet + build + race-enabled
+# tests over every package.
+
+GO ?= go
+
+.PHONY: ci vet build test race test-short serve-race
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# The serving-stack subset of the race suite — fast enough for a pre-commit
+# check of docstore/httpapi/obs changes.
+serve-race:
+	$(GO) test -race ./internal/docstore ./internal/httpapi ./internal/obs

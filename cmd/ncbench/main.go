@@ -23,7 +23,8 @@ func main() {
 	log.SetPrefix("ncbench: ")
 	var (
 		scaleS = flag.String("scale", "small", "experiment scale: tiny|small|medium|large")
-		exp    = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,figure1,figure3,figure4a,figure4b,figure4c,figure5,figure5cmp,ablations,scalesweep")
+		exp    = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,figure1,figure3,figure4a,figure4b,figure4c,figure5,figure5cmp,ablations,scalesweep,serving (serving is opt-in, not part of all)")
+		serveN = flag.Int("serve-requests", 2000, "requests replayed by the serving experiment")
 		top    = flag.Int("top", 100, "clusters per NC1-NC3 customization")
 		seed   = flag.Int64("seed", 1, "workspace seed")
 		mdPath = flag.String("md", "", "also write a markdown report of the run to this file")
@@ -124,6 +125,10 @@ func main() {
 	}
 	if run("scalesweep") {
 		bench.RunScaleSweep(scale.Seed, []int{scale.InitialVoters, scale.InitialVoters * 4}, scale.Years, out)
+	}
+	if wanted["serving"] {
+		runServingLatency(w, *serveN, out)
+		fmt.Fprintln(out)
 	}
 	if *mdPath != "" {
 		f, err := os.Create(*mdPath)

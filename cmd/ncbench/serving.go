@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+
+	"repro/internal/bench"
+	"repro/internal/httpapi"
+)
+
+// runServingLatency stands the serving stack up in-process over the scored
+// dataset, replays a mixed read workload against the /v1 surface, and
+// prints the per-route latency quantiles the obs middleware collected —
+// the serving-side counterpart of the generation benchmarks.
+func runServingLatency(w *bench.Workspace, requests int, out io.Writer) {
+	ds := w.ScoredDataset()
+	api := httpapi.New(ds, httpapi.WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))
+	do := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		api.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	// Seed cluster ids for the point-lookup leg of the mix.
+	var pg struct {
+		Items []map[string]any `json:"items"`
+	}
+	if err := json.Unmarshal(do("/v1/clusters?limit=100").Body.Bytes(), &pg); err != nil || len(pg.Items) == 0 {
+		fmt.Fprintf(out, "serving latency: no clusters to query (%v)\n", err)
+		return
+	}
+	ids := make([]string, 0, len(pg.Items))
+	for _, it := range pg.Items {
+		if id, ok := it["ncid"].(string); ok {
+			ids = append(ids, id)
+		}
+	}
+
+	for i := 0; i < requests; i++ {
+		switch i % 4 {
+		case 0:
+			do("/v1/stats")
+		case 1:
+			do("/v1/clusters?score=heterogeneity&min=0.4&limit=20")
+		case 2:
+			do("/v1/clusters/" + ids[i%len(ids)])
+		case 3:
+			do("/v1/histogram")
+		}
+	}
+
+	snap := api.Metrics().Snapshot()
+	fmt.Fprintf(out, "Serving latency (%d requests, in-process)\n", requests)
+	fmt.Fprintf(out, "  %-28s %9s %9s %9s %9s %9s\n", "route", "requests", "p50ms", "p90ms", "p99ms", "maxms")
+	for _, r := range snap.Routes {
+		fmt.Fprintf(out, "  %-28s %9d %9.3f %9.3f %9.3f %9.3f\n",
+			r.Route, r.Requests, r.P50MS, r.P90MS, r.P99MS, r.MaxMS)
+	}
+}

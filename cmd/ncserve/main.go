@@ -1,26 +1,41 @@
-// Command ncserve exposes a stored test dataset over a read-only HTTP/JSON
-// API — the exploration companion the paper gets from MongoDB Compass (§5).
+// Command ncserve exposes a stored test dataset over a versioned read-only
+// HTTP/JSON API — the exploration companion the paper gets from MongoDB
+// Compass (§5) — hardened for production use: structured request logging,
+// per-route metrics, panic recovery, per-request timeouts, in-flight
+// limiting and graceful shutdown.
 //
 // Usage:
 //
-//	ncserve -db store/ -addr :8080
+//	ncserve -db store/ -addr :8080 [-timeout 10s] [-max-inflight 256] [-grace 10s]
 //
-// Endpoints:
+// Endpoints (unversioned paths 301 to their /v1 twin):
 //
-//	GET /stats                 dataset-level statistics
-//	GET /years                 per-year import history (Table 1)
-//	GET /histogram             cluster-size histogram (Fig. 1)
-//	GET /versions              published versions
-//	GET /clusters/{ncid}       one cluster document
-//	GET /clusters?score=plausibility&max=0.8&limit=50
-//	                           score-range queries over cluster summaries
+//	GET /v1/stats                 dataset-level statistics
+//	GET /v1/years                 per-year import history (Table 1)
+//	GET /v1/histogram             cluster-size histogram (Fig. 1)
+//	GET /v1/versions              published versions
+//	GET /v1/clusters/{ncid}       one cluster document
+//	GET /v1/clusters?score=heterogeneity&min=0.4&limit=20&cursor=...
+//	                              score-range queries over cluster
+//	                              summaries, cursor-paginated
+//	GET /metrics                  per-route counters and latency quantiles
+//	                              (JSON; ?format=prometheus for text)
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains
+// in-flight requests for up to -grace, then exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/docstore"
@@ -31,8 +46,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ncserve: ")
 	var (
-		db   = flag.String("db", "store", "document-database directory")
-		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
+		db       = flag.String("db", "store", "document-database directory")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request deadline (0 disables)")
+		inflight = flag.Int("max-inflight", 256, "max concurrently served requests (0 disables shedding)")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain deadline")
 	)
 	flag.Parse()
 
@@ -44,7 +62,40 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	api := httpapi.New(ds,
+		httpapi.WithTimeout(*timeout),
+		httpapi.WithMaxInflight(*inflight),
+	)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
 	fmt.Printf("serving %d clusters / %d records from %s on http://%s\n",
 		ds.NumClusters(), ds.NumRecords(), *db, *addr)
-	log.Fatal(http.ListenAndServe(*addr, httpapi.New(ds)))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received, draining for up to %s", *grace)
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("drained cleanly")
+	}
 }

@@ -6,33 +6,75 @@ import (
 	"strings"
 )
 
-// Histogram buckets values from [0, 1] into n equal-width bins (the last
-// bin is closed on the right).
+// Histogram buckets values from [Lo, Lo+n*Width) into n equal-width bins;
+// values outside the range are clamped into the first/last bin. The score
+// histograms of the paper use [0, 1]; the serving stack reuses the same type
+// for latency distributions over a millisecond range.
 type Histogram struct {
 	Bins   []int
 	Total  int
+	Lo     float64
 	Width  float64
 	Labels []string
 }
 
 // NewHistogram buckets the values into n bins over [0, 1].
 func NewHistogram(values []float64, n int) Histogram {
-	h := Histogram{Bins: make([]int, n), Width: 1 / float64(n)}
+	h := NewHistogramOver(0, 1, n)
 	for _, v := range values {
-		i := int(v / h.Width)
-		if i >= n {
-			i = n - 1
-		}
-		if i < 0 {
-			i = 0
-		}
-		h.Bins[i]++
-		h.Total++
-	}
-	for i := 0; i < n; i++ {
-		h.Labels = append(h.Labels, fmt.Sprintf("[%.2f,%.2f)", float64(i)*h.Width, float64(i+1)*h.Width))
+		h.Add(v)
 	}
 	return h
+}
+
+// NewHistogramOver returns an empty histogram of n equal-width bins over
+// [lo, hi); fill it with Add.
+func NewHistogramOver(lo, hi float64, n int) Histogram {
+	h := Histogram{Bins: make([]int, n), Lo: lo, Width: (hi - lo) / float64(n)}
+	for i := 0; i < n; i++ {
+		h.Labels = append(h.Labels, fmt.Sprintf("[%.2f,%.2f)", lo+float64(i)*h.Width, lo+float64(i+1)*h.Width))
+	}
+	return h
+}
+
+// Add buckets one value, clamping out-of-range values into the edge bins.
+func (h *Histogram) Add(v float64) {
+	i := int((v - h.Lo) / h.Width)
+	if i >= len(h.Bins) {
+		i = len(h.Bins) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	h.Bins[i]++
+	h.Total++
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// inside the bin holding the q*Total-th value. Resolution is bounded by the
+// bin width; values clamped into the last bin cap the estimate at the range
+// end.
+func (h Histogram) Quantile(q float64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Total)
+	cum := 0.0
+	for i, b := range h.Bins {
+		next := cum + float64(b)
+		if b > 0 && next >= rank {
+			frac := (rank - cum) / float64(b)
+			return h.Lo + (float64(i)+frac)*h.Width
+		}
+		cum = next
+	}
+	return h.Lo + float64(len(h.Bins))*h.Width
 }
 
 // Fprint renders the histogram with proportional bars.

@@ -1,6 +1,7 @@
 package docstore
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -316,4 +317,35 @@ func (c *Collection) ForEach(fn func(Document) bool) {
 			return
 		}
 	}
+}
+
+// forEachCtxStride bounds how many documents ForEachContext visits between
+// cancellation checks; a power of two keeps the modulo cheap.
+const forEachCtxStride = 1024
+
+// ForEachContext is ForEach with a cancellation hook: every
+// forEachCtxStride documents it checks ctx and aborts the scan, returning
+// ctx.Err(), once the context is done. A completed scan (or one stopped by
+// fn returning false) returns nil. This is what request handlers use so a
+// per-request timeout actually interrupts long scans instead of merely
+// expiring while they run.
+func (c *Collection) ForEachContext(ctx context.Context, fn func(Document) bool) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	visited := 0
+	for _, doc := range c.docs {
+		if doc == nil {
+			continue
+		}
+		if visited%forEachCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		visited++
+		if !fn(doc) {
+			return nil
+		}
+	}
+	return nil
 }

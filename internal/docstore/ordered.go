@@ -1,6 +1,13 @@
 package docstore
 
-import "sort"
+import (
+	"errors"
+	"sort"
+)
+
+// ErrBadCursor is returned by FindRangePage when afterID does not name a
+// live document carrying the scanned path — a stale or forged cursor.
+var ErrBadCursor = errors.New("docstore: bad page cursor")
 
 // Ordered indexes: sorted views over one dotted path enabling range scans —
 // what the cluster store uses to select score ranges (e.g. all clusters
@@ -80,40 +87,177 @@ func (c *Collection) rebuildOrdered(path string, ix *orderedIndex) {
 	ix.dirty = false
 }
 
-// FindRange returns the documents whose value at path lies in [lo, hi]
-// (either bound may be nil for open-ended scans), in ascending value order.
-// With an ordered index the scan is a binary search plus a contiguous walk;
-// without one it falls back to filtering and sorting.
-func (c *Collection) FindRange(path string, lo, hi any) []Document {
+// refreshOrdered returns the ordered index for path, rebuilding it first
+// when dirty. It takes the write lock only for the rebuild; callers must
+// not hold any lock.
+func (c *Collection) refreshOrdered(path string) (*orderedIndex, bool) {
 	c.mu.Lock()
 	ix, ok := c.ordered[path]
 	if ok && ix.dirty {
 		c.rebuildOrdered(path, ix)
 	}
 	c.mu.Unlock()
+	return ix, ok
+}
+
+// FindRangePage is the paged form of FindRange: it returns at most limit
+// documents whose value at path lies in [lo, hi] in ascending value order,
+// resuming strictly after the document afterID ("" starts at the beginning).
+// next is the _id to pass as afterID for the following page, or "" when the
+// range is exhausted. Unlike FindRange it never materializes more than one
+// page, so it is what the serving layer uses for cursor pagination.
+//
+// A non-empty afterID that no longer names a live document with a value at
+// path yields ErrBadCursor. Pages are snapshots under the read lock; a
+// concurrent Update that moves the cursor document within the order makes
+// the next page resume from its new position (documents may be skipped or
+// repeated across pages, never within one).
+func (c *Collection) FindRangePage(path string, lo, hi any, afterID string, limit int) (docs []Document, next string, err error) {
+	if limit <= 0 {
+		return nil, "", nil
+	}
+	ix, ok := c.refreshOrdered(path)
 
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if ok {
-		entries := ix.entries
-		start := 0
-		if lo != nil {
-			start = sort.Search(len(entries), func(i int) bool {
-				return compare(entries[i].value, lo) >= 0
-			})
+	if !ok {
+		return c.findRangePageScan(path, lo, hi, afterID, limit)
+	}
+	entries := ix.entries
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(entries), func(i int) bool {
+			return compare(entries[i].value, lo) >= 0
+		})
+	}
+	if afterID != "" {
+		slot, okID := c.byID[afterID]
+		if !okID {
+			return nil, "", ErrBadCursor
 		}
-		var out []Document
-		for i := start; i < len(entries); i++ {
-			if hi != nil && compare(entries[i].value, hi) > 0 {
+		v, okV := Get(c.docs[slot], path)
+		if !okV {
+			return nil, "", ErrBadCursor
+		}
+		// Jump to the first entry with the cursor's value, then walk the
+		// tie run until the cursor's own entry; resume just after it.
+		i := sort.Search(len(entries), func(i int) bool {
+			return compare(entries[i].value, v) >= 0
+		})
+		found := false
+		for ; i < len(entries); i++ {
+			if compare(entries[i].value, v) != 0 {
 				break
 			}
-			if doc := c.docs[entries[i].slot]; doc != nil {
-				out = append(out, doc)
+			if entries[i].slot == slot {
+				found = true
+				i++
+				break
 			}
 		}
-		return out
+		if !found {
+			// The document's value moved between the index refresh and this
+			// read (concurrent Update): seek its entry linearly before
+			// declaring the cursor stale.
+			for i = 0; i < len(entries); i++ {
+				if entries[i].slot == slot {
+					found = true
+					i++
+					break
+				}
+			}
+			if !found {
+				return nil, "", ErrBadCursor
+			}
+		}
+		if i > start {
+			start = i
+		}
 	}
-	// Fallback: filter plus sort.
+	for i := start; i < len(entries); i++ {
+		if hi != nil && compare(entries[i].value, hi) > 0 {
+			break
+		}
+		doc := c.docs[entries[i].slot]
+		if doc == nil {
+			continue
+		}
+		if len(docs) == limit {
+			// One more live in-range document exists, so the page is not
+			// the last: hand out a cursor.
+			next, _ = docs[limit-1]["_id"].(string)
+			return docs, next, nil
+		}
+		docs = append(docs, doc)
+	}
+	return docs, "", nil
+}
+
+// findRangePageScan is the un-indexed fallback: filter + sort like
+// FindRange, then slice out the page. O(n log n) per page — create an
+// ordered index for collections that serve paged reads.
+func (c *Collection) findRangePageScan(path string, lo, hi any, afterID string, limit int) ([]Document, string, error) {
+	all := c.rangeScanLocked(path, lo, hi)
+	start := 0
+	if afterID != "" {
+		found := false
+		for i, d := range all {
+			if id, _ := d["_id"].(string); id == afterID {
+				start, found = i+1, true
+				break
+			}
+		}
+		if !found {
+			return nil, "", ErrBadCursor
+		}
+	}
+	if start >= len(all) {
+		return nil, "", nil
+	}
+	page := all[start:]
+	if len(page) > limit {
+		next, _ := page[limit-1]["_id"].(string)
+		return page[:limit], next, nil
+	}
+	return page, "", nil
+}
+
+// CountRange returns the number of live documents whose value at path lies
+// in [lo, hi] — the "total" a paged scan reports without materializing the
+// documents.
+func (c *Collection) CountRange(path string, lo, hi any) int {
+	ix, ok := c.refreshOrdered(path)
+
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !ok {
+		return len(c.rangeScanLocked(path, lo, hi))
+	}
+	entries := ix.entries
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(entries), func(i int) bool {
+			return compare(entries[i].value, lo) >= 0
+		})
+	}
+	end := len(entries)
+	if hi != nil {
+		end = sort.Search(len(entries), func(i int) bool {
+			return compare(entries[i].value, hi) > 0
+		})
+	}
+	n := 0
+	for i := start; i < end; i++ {
+		if c.docs[entries[i].slot] != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// rangeScanLocked filters and value-sorts the live documents in [lo, hi];
+// callers hold at least the read lock.
+func (c *Collection) rangeScanLocked(path string, lo, hi any) []Document {
 	var filter Filter
 	switch {
 	case lo != nil && hi != nil:
@@ -131,5 +275,37 @@ func (c *Collection) FindRange(path string, lo, hi any) []Document {
 		b, _ := Get(out[j], path)
 		return compare(a, b) < 0
 	})
+	return out
+}
+
+// FindRange returns the documents whose value at path lies in [lo, hi]
+// (either bound may be nil for open-ended scans), in ascending value order.
+// With an ordered index the scan is a binary search plus a contiguous walk;
+// without one it falls back to filtering and sorting.
+func (c *Collection) FindRange(path string, lo, hi any) []Document {
+	ix, ok := c.refreshOrdered(path)
+
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !ok {
+		// Fallback: filter plus sort.
+		return c.rangeScanLocked(path, lo, hi)
+	}
+	entries := ix.entries
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(entries), func(i int) bool {
+			return compare(entries[i].value, lo) >= 0
+		})
+	}
+	var out []Document
+	for i := start; i < len(entries); i++ {
+		if hi != nil && compare(entries[i].value, hi) > 0 {
+			break
+		}
+		if doc := c.docs[entries[i].slot]; doc != nil {
+			out = append(out, doc)
+		}
+	}
 	return out
 }

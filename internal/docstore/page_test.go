@@ -1,0 +1,214 @@
+package docstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// pagedCollection builds a collection of n documents with a "score" value
+// cycling through tenths so the ordered index has plenty of ties.
+func pagedCollection(t *testing.T, n int, indexed bool) *Collection {
+	t.Helper()
+	c := NewCollection("clusters")
+	for i := 0; i < n; i++ {
+		doc := D("_id", fmt.Sprintf("NC%04d", i), "score", float64(i%10)/10, "size", i%7)
+		if err := c.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if indexed {
+		c.CreateOrderedIndex("score")
+	}
+	return c
+}
+
+func pageThrough(t *testing.T, c *Collection, path string, lo, hi any, limit int) []Document {
+	t.Helper()
+	var all []Document
+	after := ""
+	for {
+		page, next, err := c.FindRangePage(path, lo, hi, after, limit)
+		if err != nil {
+			t.Fatalf("FindRangePage(after=%q): %v", after, err)
+		}
+		if len(page) > limit {
+			t.Fatalf("page of %d docs exceeds limit %d", len(page), limit)
+		}
+		all = append(all, page...)
+		if next == "" {
+			if len(page) == limit && len(all) < c.CountRange(path, lo, hi) {
+				t.Fatalf("cursor ended early at %d docs", len(all))
+			}
+			return all
+		}
+		after = next
+	}
+}
+
+func TestFindRangePageMatchesFindRange(t *testing.T) {
+	for _, indexed := range []bool{true, false} {
+		c := pagedCollection(t, 95, indexed)
+		for _, limit := range []int{1, 7, 100} {
+			paged := pageThrough(t, c, "score", 0.2, 0.7, limit)
+			full := c.FindRange("score", 0.2, 0.7)
+			if len(paged) != len(full) {
+				t.Fatalf("indexed=%v limit=%d: paged %d docs, FindRange %d",
+					indexed, limit, len(paged), len(full))
+			}
+			seen := map[string]bool{}
+			for i, d := range paged {
+				id := d["_id"].(string)
+				if seen[id] {
+					t.Fatalf("duplicate %s across pages", id)
+				}
+				seen[id] = true
+				if full[i]["_id"] != id {
+					t.Fatalf("indexed=%v limit=%d: order diverges at %d: %v vs %v",
+						indexed, limit, i, id, full[i]["_id"])
+				}
+			}
+			if got, want := c.CountRange("score", 0.2, 0.7), len(full); got != want {
+				t.Fatalf("CountRange = %d, want %d", got, want)
+			}
+		}
+	}
+}
+
+func TestFindRangePageOpenBoundsAndLimits(t *testing.T) {
+	c := pagedCollection(t, 30, true)
+	if got := len(pageThrough(t, c, "score", nil, nil, 4)); got != 30 {
+		t.Fatalf("open-range paging returned %d docs, want 30", got)
+	}
+	docs, next, err := c.FindRangePage("score", nil, nil, "", 0)
+	if err != nil || docs != nil || next != "" {
+		t.Fatalf("limit=0: got %v, %q, %v", docs, next, err)
+	}
+	// A page ending exactly at the range end must not hand out a cursor.
+	total := c.CountRange("score", nil, nil)
+	docs, next, err = c.FindRangePage("score", nil, nil, "", total)
+	if err != nil || len(docs) != total || next != "" {
+		t.Fatalf("exact-fit page: %d docs, next=%q, err=%v", len(docs), next, err)
+	}
+}
+
+func TestFindRangePageBadCursor(t *testing.T) {
+	for _, indexed := range []bool{true, false} {
+		c := pagedCollection(t, 10, indexed)
+		if _, _, err := c.FindRangePage("score", nil, nil, "NOPE", 5); !errors.Is(err, ErrBadCursor) {
+			t.Fatalf("indexed=%v: unknown cursor err = %v, want ErrBadCursor", indexed, err)
+		}
+		// A cursor document that lost the scanned path is stale too.
+		c.Update("NC0003", func(d Document) { delete(d, "score") })
+		if _, _, err := c.FindRangePage("score", nil, nil, "NC0003", 5); !errors.Is(err, ErrBadCursor) {
+			t.Fatalf("indexed=%v: pathless cursor err = %v, want ErrBadCursor", indexed, err)
+		}
+	}
+}
+
+func TestFindRangePageAfterDelete(t *testing.T) {
+	c := pagedCollection(t, 20, true)
+	page, next, err := c.FindRangePage("score", nil, nil, "", 5)
+	if err != nil || next == "" {
+		t.Fatalf("first page: next=%q err=%v", next, err)
+	}
+	// Deleting the cursor document invalidates the cursor.
+	c.Delete(next)
+	if _, _, err := c.FindRangePage("score", nil, nil, next, 5); !errors.Is(err, ErrBadCursor) {
+		t.Fatalf("deleted cursor err = %v, want ErrBadCursor", err)
+	}
+	// Paging from a surviving document still works.
+	alive, _ := page[len(page)-2]["_id"].(string)
+	if _, _, err := c.FindRangePage("score", nil, nil, alive, 5); err != nil {
+		t.Fatalf("live cursor err = %v", err)
+	}
+}
+
+func TestForEachContext(t *testing.T) {
+	c := pagedCollection(t, 3*forEachCtxStride, false)
+	// A live context completes the scan.
+	n := 0
+	if err := c.ForEachContext(context.Background(), func(Document) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3*forEachCtxStride {
+		t.Fatalf("visited %d docs", n)
+	}
+	// A cancelled context aborts between strides.
+	ctx, cancel := context.WithCancel(context.Background())
+	n = 0
+	err := c.ForEachContext(ctx, func(Document) bool {
+		n++
+		if n == 10 {
+			cancel()
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n >= 3*forEachCtxStride {
+		t.Fatalf("cancellation ignored: visited %d docs", n)
+	}
+	// Early stop by the callback is not an error.
+	if err := c.ForEachContext(context.Background(), func(Document) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFindRangePageConcurrent hammers paged reads while writers move scores
+// around; run with -race. Pages may skip or repeat documents across a
+// concurrent update, but every call must return well-formed results and
+// cursors must stay usable or fail with ErrBadCursor — never panic.
+func TestFindRangePageConcurrent(t *testing.T) {
+	c := pagedCollection(t, 400, true)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("NC%04d", (i*13+w)%400)
+				c.Update(id, func(d Document) { d["score"] = float64((i+w)%100) / 100 })
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				after := ""
+				for hops := 0; hops < 20; hops++ {
+					page, next, err := c.FindRangePage("score", 0.1, 0.9, after, 16)
+					if err != nil {
+						if !errors.Is(err, ErrBadCursor) {
+							t.Errorf("FindRangePage: %v", err)
+						}
+						break
+					}
+					if len(page) > 16 {
+						t.Errorf("oversized page: %d", len(page))
+					}
+					if next == "" {
+						break
+					}
+					after = next
+				}
+				c.CountRange("score", 0.1, 0.9)
+			}
+		}()
+	}
+	// Writers run until every reader finishes its fixed workload.
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

@@ -1,0 +1,118 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/docstore"
+)
+
+// Pagination bounds for the cluster list.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// clusterRoutes serves the cluster resource: score-range listing with
+// cursor pagination and per-cluster lookup.
+func (s *Server) clusterRoutes() []route {
+	return []route{
+		{"GET", "/clusters", s.handleClusterQuery},
+		{"GET", "/clusters/{ncid}", s.handleCluster},
+	}
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	ncid := r.PathValue("ncid")
+	doc := s.db.Collection(core.ClustersCollection).Get(ncid)
+	if doc == nil {
+		writeError(w, http.StatusNotFound, "not_found", "unknown cluster "+ncid)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleClusterQuery lists cluster summaries by score range with cursor
+// pagination:
+//
+//	GET /v1/clusters?score=plausibility&max=0.8&limit=50
+//	GET /v1/clusters?score=heterogeneity&min=0.4&limit=20&cursor=...
+//	GET /v1/clusters?score=size&min=5
+//
+// Pages materialize at most limit documents; nextCursor resumes the scan.
+func (s *Server) handleClusterQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	score := q.Get("score")
+	switch score {
+	case "":
+		score = "size"
+	case "plausibility", "heterogeneity", "size":
+	default:
+		writeError(w, http.StatusBadRequest, "bad_request", "unknown score "+score)
+		return
+	}
+	var lo, hi any
+	if v := q.Get("min"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "min must be a number")
+			return
+		}
+		lo = f
+	}
+	if v := q.Get("max"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "max must be a number")
+			return
+		}
+		hi = f
+	}
+	limit := defaultPageLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > maxPageLimit {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				"limit must be an integer in [1, "+strconv.Itoa(maxPageLimit)+"]")
+			return
+		}
+		limit = n
+	}
+	afterID, ok := decodeCursor(q.Get("cursor"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad_cursor", "malformed cursor")
+		return
+	}
+
+	clusters := s.db.Collection(core.ClustersCollection)
+	docs, next, err := clusters.FindRangePage(score, lo, hi, afterID, limit)
+	if errors.Is(err, docstore.ErrBadCursor) {
+		writeError(w, http.StatusBadRequest, "bad_cursor", "stale or unknown cursor")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "range scan failed")
+		return
+	}
+
+	// Summaries only: id, size and scores — record bodies via
+	// /v1/clusters/{id}.
+	items := make([]map[string]any, 0, len(docs))
+	for _, d := range docs {
+		item := map[string]any{"ncid": d["_id"], "size": d["size"]}
+		if p, ok := d["plausibility"]; ok {
+			item["plausibility"] = p
+		}
+		if h, ok := d["heterogeneity"]; ok {
+			item["heterogeneity"] = h
+		}
+		items = append(items, item)
+	}
+	writeJSON(w, http.StatusOK, listPage{
+		Items:      items,
+		Total:      clusters.CountRange(score, lo, hi),
+		NextCursor: encodeCursor(next),
+	})
+}

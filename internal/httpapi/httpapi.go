@@ -1,158 +1,240 @@
-// Package httpapi exposes a stored test dataset over a small read-only
+// Package httpapi exposes a stored test dataset over a versioned, read-only
 // HTTP/JSON API — the stand-in for the MongoDB Compass exploration the
 // paper relies on for "exploring, generating, adjusting and using the test
-// data" (§5). Endpoints cover the dataset statistics, per-cluster lookup,
-// score-range queries and the import history.
+// data" (§5). All resources live under /v1 (the unversioned paths of the
+// first release respond with a 301 to their /v1 twin); GET /metrics exposes
+// the per-route observability registry.
+//
+// Conventions: errors are {"error": {"code", "message"}} envelopes; list
+// endpoints are {"items", "total", "nextCursor"} envelopes with opaque
+// cursor pagination. Handlers honor the request context, so the per-request
+// timeout middleware can interrupt long scans.
 package httpapi
 
 import (
+	"bytes"
+	"encoding/base64"
 	"encoding/json"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/docstore"
+	"repro/internal/obs"
 )
+
+// Config tunes the middleware around the handlers; the zero value of a
+// field means "use the default below".
+type Config struct {
+	Timeout     time.Duration // per-request deadline (default 10s; <0 disables)
+	MaxInflight int           // in-flight request cap (default 256; <0 disables)
+	Logger      *slog.Logger  // request logger (default slog.Default())
+}
+
+// Option mutates the Config inside New.
+type Option func(*Config)
+
+// WithTimeout sets the per-request deadline; d < 0 disables it.
+func WithTimeout(d time.Duration) Option { return func(c *Config) { c.Timeout = d } }
+
+// WithMaxInflight caps concurrently served requests; n < 0 disables the cap.
+func WithMaxInflight(n int) Option { return func(c *Config) { c.MaxInflight = n } }
+
+// WithLogger sets the structured request logger.
+func WithLogger(l *slog.Logger) Option { return func(c *Config) { c.Logger = l } }
 
 // Server wraps a dataset and its document database for serving.
 type Server struct {
-	ds  *core.Dataset
-	db  *docstore.DB
-	mux *http.ServeMux
+	ds      *core.Dataset
+	db      *docstore.DB
+	mux     *http.ServeMux
+	metrics *obs.Metrics
+	handler http.Handler
+}
+
+// route is one registered endpoint, relative to the /v1 prefix. Resources
+// contribute []route slices (see clusters.go, meta.go) so growing the API
+// means adding a routes function, not editing one constructor.
+type route struct {
+	method  string
+	pattern string // resource-relative, e.g. "/clusters/{ncid}"
+	handler http.HandlerFunc
 }
 
 // New builds a server over the dataset. The document database is
 // materialized once; score-range endpoints get ordered indexes.
-func New(ds *core.Dataset) *Server {
+func New(ds *core.Dataset, opts ...Option) *Server {
+	cfg := Config{Timeout: 10 * time.Second, MaxInflight: 256}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.Timeout < 0 {
+		cfg.Timeout = 0
+	}
+	if cfg.MaxInflight < 0 {
+		cfg.MaxInflight = 0
+	}
+
 	db := ds.ToDocDB()
 	clusters := db.Collection(core.ClustersCollection)
 	clusters.CreateOrderedIndex("plausibility")
 	clusters.CreateOrderedIndex("heterogeneity")
 	clusters.CreateOrderedIndex("size")
-	s := &Server{ds: ds, db: db, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /years", s.handleYears)
-	s.mux.HandleFunc("GET /histogram", s.handleHistogram)
-	s.mux.HandleFunc("GET /versions", s.handleVersions)
-	s.mux.HandleFunc("GET /clusters/{ncid}", s.handleCluster)
-	s.mux.HandleFunc("GET /clusters", s.handleClusterQuery)
+
+	s := &Server{ds: ds, db: db, mux: http.NewServeMux(), metrics: obs.NewMetrics()}
+	s.register(s.metaRoutes())
+	s.register(s.clusterRoutes())
+	s.mux.Handle("GET /metrics", s.metrics.Handler())
+
+	s.handler = obs.Chain(http.HandlerFunc(s.dispatch),
+		obs.Logging(cfg.Logger),
+		obs.Track(s.metrics, s.routeLabel),
+		obs.InflightLimit(cfg.MaxInflight, s.metrics),
+		obs.Timeout(cfg.Timeout, s.metrics),
+		obs.Recover(s.metrics),
+	)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// register mounts the routes under /v1 and their unversioned twins as 301
+// redirects (one-release compatibility alias).
+func (s *Server) register(routes []route) {
+	for _, rt := range routes {
+		s.mux.HandleFunc(rt.method+" /v1"+rt.pattern, rt.handler)
+		s.mux.HandleFunc(rt.method+" "+rt.pattern, redirectToV1)
+	}
+}
+
+// redirectToV1 301s an unversioned path to its /v1 twin, query preserved.
+func redirectToV1(w http.ResponseWriter, r *http.Request) {
+	target := "/v1" + r.URL.Path
+	if q := r.URL.RawQuery; q != "" {
+		target += "?" + q
+	}
+	http.Redirect(w, r, target, http.StatusMovedPermanently)
+}
+
+// ServeHTTP implements http.Handler through the middleware chain.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
-// writeJSON renders v with a 200 (or the given status).
+// Metrics exposes the observability registry (for benchmarks and tests).
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// routeLabel labels requests for metrics with the ServeMux pattern that
+// dispatches them, keeping the label space bounded.
+func (s *Server) routeLabel(r *http.Request) string {
+	if _, pattern := s.mux.Handler(r); pattern != "" {
+		return pattern
+	}
+	return "unmatched"
+}
+
+// dispatch serves the mux behind a writer that rewrites its plain-text
+// error pages (404 for unknown paths, 405 with Allow for known ones) into
+// the JSON error envelope.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(&jsonErrorWriter{ResponseWriter: w}, r)
+}
+
+// jsonErrorWriter intercepts non-JSON error responses (the ServeMux's own
+// 404/405 pages) and replaces their bodies with the canonical envelope.
+// Handler-written errors pass through untouched: they are JSON already.
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	wrote    bool
+	replaced bool
+}
+
+func (w *jsonErrorWriter) WriteHeader(code int) {
+	if w.wrote {
+		return
+	}
+	w.wrote = true
+	ct := w.Header().Get("Content-Type")
+	if code >= 400 && !strings.HasPrefix(ct, "application/json") {
+		w.replaced = true
+		codeName, msg := "error", http.StatusText(code)
+		switch code {
+		case http.StatusNotFound:
+			codeName, msg = "not_found", "no such resource"
+		case http.StatusMethodNotAllowed:
+			codeName, msg = "method_not_allowed", "method not allowed on this resource"
+		}
+		w.Header().Del("X-Content-Type-Options")
+		obs.WriteError(w.ResponseWriter, code, codeName, msg)
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *jsonErrorWriter) Write(b []byte) (int, error) {
+	if w.replaced {
+		return len(b), nil // swallow the mux's text body
+	}
+	if !w.wrote {
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// listPage is the envelope every list endpoint returns.
+type listPage struct {
+	Items      any    `json:"items"`
+	Total      int    `json:"total"`
+	NextCursor string `json:"nextCursor,omitempty"`
+}
+
+// writeJSON buffers the encoding of v so failures surface as a clean 500
+// (instead of a silently truncated 200) and Content-Length is always set.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		slog.Default().Error("httpapi: response encoding failed", "err", err)
+		obs.WriteError(w, http.StatusInternalServerError, "internal", "response encoding failed")
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// Headers are gone; the client likely went away. Log and move on.
+		slog.Default().Error("httpapi: response write failed", "err", err)
+	}
 }
 
-type errorBody struct {
-	Error string `json:"error"`
+// writeError renders the canonical error envelope.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	obs.WriteError(w, status, code, msg)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"mode":           s.ds.Mode.String(),
-		"clusters":       s.ds.NumClusters(),
-		"records":        s.ds.NumRecords(),
-		"duplicatePairs": s.ds.NumPairs(),
-		"totalRows":      s.ds.TotalRows(),
-		"removedRecords": s.ds.RemovedRecords(),
-		"avgClusterSize": s.ds.AvgClusterSize(),
-		"maxClusterSize": s.ds.MaxClusterSize(),
-		"versions":       len(s.ds.Versions()),
-	})
+// cursorPrefix versions the cursor encoding so stale cursors from future
+// incompatible encodings fail loudly instead of resolving wrongly.
+const cursorPrefix = "v1:"
+
+// encodeCursor renders an opaque page cursor from the last document id of a
+// page; "" stays "".
+func encodeCursor(afterID string) string {
+	if afterID == "" {
+		return ""
+	}
+	return base64.RawURLEncoding.EncodeToString([]byte(cursorPrefix + afterID))
 }
 
-func (s *Server) handleYears(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.ds.YearlyStats())
-}
-
-func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
-	hist := s.ds.ClusterSizeHistogram()
-	out := map[string]int{}
-	for size, n := range hist {
-		out[strconv.Itoa(size)] = n
+// decodeCursor resolves an opaque cursor back to a document id; it reports
+// malformed input so handlers can 400.
+func decodeCursor(cursor string) (string, bool) {
+	if cursor == "" {
+		return "", true
 	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.ds.Versions())
-}
-
-func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
-	ncid := r.PathValue("ncid")
-	doc := s.db.Collection(core.ClustersCollection).Get(ncid)
-	if doc == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{"unknown cluster " + ncid})
-		return
+	raw, err := base64.RawURLEncoding.DecodeString(cursor)
+	if err != nil || !strings.HasPrefix(string(raw), cursorPrefix) {
+		return "", false
 	}
-	writeJSON(w, http.StatusOK, doc)
-}
-
-// handleClusterQuery filters clusters by score ranges:
-//
-//	GET /clusters?score=plausibility&max=0.8&limit=50
-//	GET /clusters?score=heterogeneity&min=0.4&limit=20
-//	GET /clusters?score=size&min=5
-func (s *Server) handleClusterQuery(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	score := q.Get("score")
-	switch score {
-	case "":
-		score = "size"
-	case "plausibility", "heterogeneity", "size":
-	default:
-		writeJSON(w, http.StatusBadRequest, errorBody{"unknown score " + score})
-		return
-	}
-	var lo, hi any
-	if v := q.Get("min"); v != "" {
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{"bad min"})
-			return
-		}
-		lo = f
-	}
-	if v := q.Get("max"); v != "" {
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{"bad max"})
-			return
-		}
-		hi = f
-	}
-	limit := 100
-	if v := q.Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeJSON(w, http.StatusBadRequest, errorBody{"bad limit"})
-			return
-		}
-		limit = n
-	}
-	docs := s.db.Collection(core.ClustersCollection).FindRange(score, lo, hi)
-	if len(docs) > limit {
-		docs = docs[:limit]
-	}
-	// Summaries only: id, size and scores — record bodies via /clusters/{id}.
-	out := make([]map[string]any, 0, len(docs))
-	for _, d := range docs {
-		item := map[string]any{"ncid": d["_id"], "size": d["size"]}
-		if p, ok := d["plausibility"]; ok {
-			item["plausibility"] = p
-		}
-		if h, ok := d["heterogeneity"]; ok {
-			item["heterogeneity"] = h
-		}
-		out = append(out, item)
-	}
-	writeJSON(w, http.StatusOK, out)
+	id := strings.TrimPrefix(string(raw), cursorPrefix)
+	return id, id != ""
 }

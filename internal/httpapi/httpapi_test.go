@@ -2,17 +2,21 @@ package httpapi
 
 import (
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/hetero"
+	"repro/internal/obs"
 	"repro/internal/plaus"
 	"repro/internal/synth"
 )
 
-func testServer(t *testing.T) *httptest.Server {
+func testDataset(t *testing.T) *core.Dataset {
 	t.Helper()
 	cfg := synth.DefaultConfig(19, 150)
 	cfg.Snapshots = synth.Calendar(2008, 3)
@@ -23,7 +27,13 @@ func testServer(t *testing.T) *httptest.Server {
 	plaus.Update(ds)
 	hetero.Update(ds)
 	ds.Publish()
-	srv := httptest.NewServer(New(ds))
+	return ds
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv := httptest.NewServer(New(testDataset(t), WithLogger(logger)))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -35,16 +45,23 @@ func getJSON(t *testing.T, url string, into any) int {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(into); err != nil && resp.StatusCode == http.StatusOK {
-		t.Fatal(err)
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil && err != io.EOF {
+		t.Fatalf("GET %s: decode: %v", url, err)
 	}
 	return resp.StatusCode
+}
+
+// page mirrors the list envelope.
+type page struct {
+	Items      []map[string]any `json:"items"`
+	Total      int              `json:"total"`
+	NextCursor string           `json:"nextCursor"`
 }
 
 func TestStatsEndpoint(t *testing.T) {
 	srv := testServer(t)
 	var stats map[string]any
-	if code := getJSON(t, srv.URL+"/stats", &stats); code != 200 {
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != 200 {
 		t.Fatalf("status = %d", code)
 	}
 	if stats["mode"] != "trimming" {
@@ -58,32 +75,34 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
-func TestYearsAndHistogramEndpoints(t *testing.T) {
+func TestListEnvelopes(t *testing.T) {
 	srv := testServer(t)
-	var years []map[string]any
-	if code := getJSON(t, srv.URL+"/years", &years); code != 200 || len(years) == 0 {
-		t.Fatalf("years: code %d, %v", code, years)
+	var years page
+	if code := getJSON(t, srv.URL+"/v1/years", &years); code != 200 || len(years.Items) == 0 {
+		t.Fatalf("years: code %d, %+v", code, years)
+	}
+	if years.Total != len(years.Items) {
+		t.Errorf("years total = %d, items = %d", years.Total, len(years.Items))
+	}
+	var versions page
+	if code := getJSON(t, srv.URL+"/v1/versions", &versions); code != 200 || versions.Total != 1 {
+		t.Fatalf("versions: code %d, %+v", code, versions)
 	}
 	var hist map[string]int
-	if code := getJSON(t, srv.URL+"/histogram", &hist); code != 200 || len(hist) == 0 {
+	if code := getJSON(t, srv.URL+"/v1/histogram", &hist); code != 200 || len(hist) == 0 {
 		t.Fatalf("histogram: code %d, %v", code, hist)
-	}
-	var versions []map[string]any
-	if code := getJSON(t, srv.URL+"/versions", &versions); code != 200 || len(versions) != 1 {
-		t.Fatalf("versions: code %d, %v", code, versions)
 	}
 }
 
 func TestClusterLookup(t *testing.T) {
 	srv := testServer(t)
-	// Find an existing id via the query endpoint.
-	var list []map[string]any
-	if code := getJSON(t, srv.URL+"/clusters?score=size&min=2&limit=1", &list); code != 200 || len(list) == 0 {
-		t.Fatalf("query: code %d, %v", code, list)
+	var list page
+	if code := getJSON(t, srv.URL+"/v1/clusters?score=size&min=2&limit=1", &list); code != 200 || len(list.Items) == 0 {
+		t.Fatalf("query: code %d, %+v", code, list)
 	}
-	ncid := list[0]["ncid"].(string)
+	ncid := list.Items[0]["ncid"].(string)
 	var doc map[string]any
-	if code := getJSON(t, srv.URL+"/clusters/"+ncid, &doc); code != 200 {
+	if code := getJSON(t, srv.URL+"/v1/clusters/"+ncid, &doc); code != 200 {
 		t.Fatalf("lookup code = %d", code)
 	}
 	if doc["_id"] != ncid {
@@ -92,44 +111,212 @@ func TestClusterLookup(t *testing.T) {
 	if _, ok := doc["records"]; !ok {
 		t.Error("cluster doc misses records")
 	}
-	// Unknown id -> 404.
-	var e map[string]any
-	if code := getJSON(t, srv.URL+"/clusters/NOPE", &e); code != 404 {
-		t.Errorf("unknown cluster code = %d", code)
+}
+
+func TestErrorEnvelopes(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		name     string
+		method   string
+		path     string
+		wantCode int
+		wantErr  string
+	}{
+		{"bad score", "GET", "/v1/clusters?score=bogus", 400, "bad_request"},
+		{"bad min", "GET", "/v1/clusters?min=abc", 400, "bad_request"},
+		{"bad max", "GET", "/v1/clusters?max=x", 400, "bad_request"},
+		{"zero limit", "GET", "/v1/clusters?limit=0", 400, "bad_request"},
+		{"huge limit", "GET", "/v1/clusters?limit=99999", 400, "bad_request"},
+		{"garbage cursor", "GET", "/v1/clusters?cursor=!!!", 400, "bad_cursor"},
+		{"forged cursor", "GET", "/v1/clusters?cursor=Tk9QRQ", 400, "bad_cursor"},
+		{"unknown cluster", "GET", "/v1/clusters/NOPE", 404, "not_found"},
+		{"unknown path", "GET", "/v1/nope", 404, "not_found"},
+		{"method not allowed", "POST", "/v1/clusters", 405, "method_not_allowed"},
+		{"method not allowed legacy", "DELETE", "/v1/stats", 405, "method_not_allowed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Fatalf("content-type = %q", ct)
+			}
+			var env obs.ErrorEnvelope
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if env.Error.Code != tc.wantErr {
+				t.Fatalf("error code = %q, want %q", env.Error.Code, tc.wantErr)
+			}
+			if env.Error.Message == "" {
+				t.Fatal("empty error message")
+			}
+		})
 	}
 }
 
-func TestScoreRangeQuery(t *testing.T) {
+func TestCursorPagination(t *testing.T) {
 	srv := testServer(t)
-	var suspects []map[string]any
-	if code := getJSON(t, srv.URL+"/clusters?score=plausibility&max=0.99", &suspects); code != 200 {
+	// Full result in one oversized page is the reference.
+	var full page
+	if code := getJSON(t, srv.URL+"/v1/clusters?score=size&min=1&limit=1000", &full); code != 200 {
+		t.Fatalf("reference query code = %d", code)
+	}
+	if full.Total != len(full.Items) {
+		t.Fatalf("reference total %d != items %d", full.Total, len(full.Items))
+	}
+	// Walk the same range in pages of 7.
+	var walked []string
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > len(full.Items) {
+			t.Fatal("pagination does not terminate")
+		}
+		url := srv.URL + "/v1/clusters?score=size&min=1&limit=7"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		var p page
+		if code := getJSON(t, url, &p); code != 200 {
+			t.Fatalf("page %d code = %d", pages, code)
+		}
+		if len(p.Items) > 7 {
+			t.Fatalf("page %d oversize: %d items", pages, len(p.Items))
+		}
+		if p.Total != full.Total {
+			t.Fatalf("page %d total = %d, want %d", pages, p.Total, full.Total)
+		}
+		for _, it := range p.Items {
+			walked = append(walked, it["ncid"].(string))
+		}
+		if p.NextCursor == "" {
+			break
+		}
+		cursor = p.NextCursor
+	}
+	if len(walked) != len(full.Items) {
+		t.Fatalf("walked %d clusters, want %d", len(walked), len(full.Items))
+	}
+	seen := map[string]bool{}
+	for i, id := range walked {
+		if seen[id] {
+			t.Fatalf("duplicate %s across pages", id)
+		}
+		seen[id] = true
+		if full.Items[i]["ncid"] != id {
+			t.Fatalf("order diverges at %d", i)
+		}
+	}
+}
+
+func TestScoreRangeBounds(t *testing.T) {
+	srv := testServer(t)
+	var suspects page
+	if code := getJSON(t, srv.URL+"/v1/clusters?score=plausibility&max=0.99", &suspects); code != 200 {
 		t.Fatalf("code = %d", code)
 	}
-	for _, s := range suspects {
+	for _, s := range suspects.Items {
 		if p, ok := s["plausibility"].(float64); !ok || p > 0.99 {
 			t.Errorf("out-of-range result: %v", s)
 		}
 	}
-	// Bad parameters -> 400.
-	var e map[string]any
-	if code := getJSON(t, srv.URL+"/clusters?score=bogus", &e); code != 400 {
-		t.Errorf("bad score code = %d", code)
+}
+
+func TestLegacyPathsRedirect(t *testing.T) {
+	srv := testServer(t)
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	for path, want := range map[string]string{
+		"/stats":                       "/v1/stats",
+		"/clusters?score=size&limit=3": "/v1/clusters?score=size&limit=3",
+	} {
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMovedPermanently {
+			t.Fatalf("%s: status = %d", path, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != want {
+			t.Fatalf("%s: location = %q, want %q", path, loc, want)
+		}
 	}
-	if code := getJSON(t, srv.URL+"/clusters?min=abc", &e); code != 400 {
-		t.Errorf("bad min code = %d", code)
-	}
-	if code := getJSON(t, srv.URL+"/clusters?limit=0", &e); code != 400 {
-		t.Errorf("bad limit code = %d", code)
+	// A default client follows the alias transparently.
+	var stats map[string]any
+	if code := getJSON(t, srv.URL+"/stats", &stats); code != 200 || stats["mode"] != "trimming" {
+		t.Fatalf("followed legacy /stats: code %d, %v", code, stats)
 	}
 }
 
-func TestLimitApplies(t *testing.T) {
+func TestMetricsEndpoint(t *testing.T) {
 	srv := testServer(t)
-	var list []map[string]any
-	if code := getJSON(t, srv.URL+"/clusters?limit=3", &list); code != 200 {
-		t.Fatalf("code = %d", code)
+	var stats map[string]any
+	getJSON(t, srv.URL+"/v1/stats", &stats)
+	getJSON(t, srv.URL+"/v1/stats", &stats)
+	var list page
+	getJSON(t, srv.URL+"/v1/clusters?limit=5", &list)
+
+	var snap obs.Snapshot
+	if code := getJSON(t, srv.URL+"/metrics", &snap); code != 200 {
+		t.Fatalf("metrics code = %d", code)
 	}
-	if len(list) > 3 {
-		t.Errorf("limit ignored: %d results", len(list))
+	byRoute := map[string]obs.RouteSnapshot{}
+	for _, r := range snap.Routes {
+		byRoute[r.Route] = r
+	}
+	if got := byRoute["GET /v1/stats"]; got.Requests != 2 || got.ByCode["200"] != 2 {
+		t.Fatalf("stats route = %+v", got)
+	}
+	if got := byRoute["GET /v1/clusters"]; got.Requests != 1 {
+		t.Fatalf("clusters route = %+v", got)
+	}
+	if got := byRoute["GET /v1/clusters"]; got.P99MS < got.P50MS || got.MaxMS <= 0 {
+		t.Fatalf("quantiles look wrong: %+v", got)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(text), `http_requests_total{route="GET /v1/stats",code="200"} 2`) {
+		t.Fatalf("prometheus output misses stats counter:\n%s", text)
+	}
+}
+
+func TestWriteJSONReportsEncodeFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, 200, map[string]any{"bad": func() {}}) // funcs cannot encode
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var env obs.ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error.Code != "internal" {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestContentLengthSet(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.ContentLength <= 0 {
+		t.Fatalf("ContentLength = %d", resp.ContentLength)
 	}
 }

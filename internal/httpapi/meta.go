@@ -1,0 +1,50 @@
+package httpapi
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// metaRoutes serves the dataset-level resources: statistics, import
+// history, cluster-size histogram and published versions.
+func (s *Server) metaRoutes() []route {
+	return []route{
+		{"GET", "/stats", s.handleStats},
+		{"GET", "/years", s.handleYears},
+		{"GET", "/histogram", s.handleHistogram},
+		{"GET", "/versions", s.handleVersions},
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mode":           s.ds.Mode.String(),
+		"clusters":       s.ds.NumClusters(),
+		"records":        s.ds.NumRecords(),
+		"duplicatePairs": s.ds.NumPairs(),
+		"totalRows":      s.ds.TotalRows(),
+		"removedRecords": s.ds.RemovedRecords(),
+		"avgClusterSize": s.ds.AvgClusterSize(),
+		"maxClusterSize": s.ds.MaxClusterSize(),
+		"versions":       len(s.ds.Versions()),
+	})
+}
+
+func (s *Server) handleYears(w http.ResponseWriter, r *http.Request) {
+	years := s.ds.YearlyStats()
+	writeJSON(w, http.StatusOK, listPage{Items: years, Total: len(years)})
+}
+
+func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
+	hist := s.ds.ClusterSizeHistogram()
+	out := map[string]int{}
+	for size, n := range hist {
+		out[strconv.Itoa(size)] = n
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
+	versions := s.ds.Versions()
+	writeJSON(w, http.StatusOK, listPage{Items: versions, Total: len(versions)})
+}

@@ -1,11 +1,16 @@
-# Development targets. `make ci` is the gate: vet + build + race-enabled
-# tests over every package.
+# Development targets. `make ci` is the gate: gofmt + vet + build +
+# race-enabled tests over every package + the docs-link check.
 
 GO ?= go
 
-.PHONY: ci vet build test race test-short serve-race
+.PHONY: ci fmt vet build test race test-short serve-race ingest-race docs
 
-ci: vet build race
+ci: fmt vet build race docs
+
+# Fail when any tracked Go file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -26,3 +31,14 @@ race:
 # check of docstore/httpapi/obs changes.
 serve-race:
 	$(GO) test -race ./internal/docstore ./internal/httpapi ./internal/obs
+
+# The parallel-ingest equivalence suite under the race detector — the
+# byte-identical-to-sequential guarantee of docs/ARCHITECTURE.md.
+ingest-race:
+	$(GO) test -race -run 'TestParallelImport|TestStreamTSVLongLine' ./internal/core ./internal/voter
+
+# Fail when the README links to a docs/ file that does not exist.
+docs:
+	@missing=0; for f in $$(grep -oE 'docs/[A-Za-z0-9_.-]+\.md' README.md | sort -u); do \
+		if [ ! -f "$$f" ]; then echo "README links to missing $$f"; missing=1; fi; done; \
+	exit $$missing

@@ -23,7 +23,7 @@ func main() {
 	log.SetPrefix("ncbench: ")
 	var (
 		scaleS = flag.String("scale", "small", "experiment scale: tiny|small|medium|large")
-		exp    = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,figure1,figure3,figure4a,figure4b,figure4c,figure5,figure5cmp,ablations,scalesweep,serving (serving is opt-in, not part of all)")
+		exp    = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,table4,figure1,figure3,figure4a,figure4b,figure4c,figure5,figure5cmp,ablations,scalesweep,serving,ingest (serving and ingest are opt-in, not part of all)")
 		serveN = flag.Int("serve-requests", 2000, "requests replayed by the serving experiment")
 		top    = flag.Int("top", 100, "clusters per NC1-NC3 customization")
 		seed   = flag.Int64("seed", 1, "workspace seed")
@@ -128,6 +128,12 @@ func main() {
 	}
 	if wanted["serving"] {
 		runServingLatency(w, *serveN, out)
+		fmt.Fprintln(out)
+	}
+	if wanted["ingest"] {
+		if _, err := bench.RunIngestThroughput(scale, bench.DefaultIngestWorkers(), out); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Fprintln(out)
 	}
 	if *mdPath != "" {

@@ -28,6 +28,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed (same seed, same data)")
 		heavy   = flag.Bool("heavy", false, "use the heavy error mix instead of the realistic light one")
 		unsound = flag.Float64("unsound", 0.002, "fraction of new voters wrongly reusing a removed NCID")
+		workers = flag.Int("workers", 0, "parallel snapshot writers (0 = all cores, 1 = sequential); same files either way")
 	)
 	flag.Parse()
 
@@ -40,7 +41,7 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	paths, err := synth.WriteAll(cfg, *out)
+	paths, err := synth.WriteAllParallel(cfg, *out, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

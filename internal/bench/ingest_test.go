@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunIngestThroughput(t *testing.T) {
+	points, err := RunIngestThroughput(Tiny, []int{1, 2}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.Rows == 0 || p.RowsPerSecond <= 0 {
+			t.Errorf("workers %d: degenerate measurement %+v", p.Workers, p)
+		}
+		if !p.Identical {
+			t.Errorf("workers %d: dataset not identical to sequential baseline", p.Workers)
+		}
+	}
+	if points[0].Workers != 1 || points[0].Speedup != 1 {
+		t.Errorf("baseline point malformed: %+v", points[0])
+	}
+}

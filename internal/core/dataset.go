@@ -5,6 +5,11 @@
 // (§5.1), incremental version-similarity maps for plausibility and
 // heterogeneity scores (§5.2), versioned monotone updates (Fig. 2), and the
 // reconstruction of earlier versions and snapshot ranges.
+//
+// Snapshots import either sequentially (ImportSnapshotFile) or through the
+// sharded parallel ingest pipeline (ImportSnapshotFileParallel) — the
+// register-scale answer to the paper's 507 M-row corpus; both paths produce
+// identical datasets (see pipeline.go).
 package core
 
 import (
@@ -173,8 +178,7 @@ func (imp *Import) Add(r voter.Record) {
 	if imp.closed {
 		panic("core: Add on a closed Import")
 	}
-	d, hm, version := imp.d, imp.hm, imp.version
-	date := imp.st.Snapshot
+	d := imp.d
 	imp.st.Rows++
 	d.totalRows++
 	ncid := r.NCID()
@@ -183,17 +187,33 @@ func (imp *Import) Add(r voter.Record) {
 	}
 	c, ok := d.clusters[ncid]
 	if !ok {
-		c = &Cluster{
-			NCID:     ncid,
-			Inserted: map[string]int{},
-			SimMaps:  map[string]VersionSimMap{},
-			hashes:   map[voter.Hash]int{},
-		}
+		c = newCluster(ncid)
 		d.clusters[ncid] = c
 		d.order = append(d.order, ncid)
 		imp.st.NewObjects++
 	}
-	h := voter.HashRecord(r, hm)
+	if applyRow(c, r, voter.HashRecord(r, imp.hm), d.Mode, imp.version, imp.st.Snapshot) {
+		imp.st.NewRecords++
+	}
+}
+
+// newCluster returns an empty cluster ready to accept rows.
+func newCluster(ncid string) *Cluster {
+	return &Cluster{
+		NCID:     ncid,
+		Inserted: map[string]int{},
+		SimMaps:  map[string]VersionSimMap{},
+		hashes:   map[voter.Hash]int{},
+	}
+}
+
+// applyRow applies one pre-hashed row to its cluster under the removal-mode
+// semantics and reports whether a new record (a previously unseen hash) was
+// stored. It is the single mutation path shared by the sequential Import and
+// the sharded parallel pipeline, which is what makes the two provably
+// equivalent: a shard owns every row of its NCIDs and feeds them here in
+// input order, exactly like a sequential import restricted to those NCIDs.
+func applyRow(c *Cluster, r voter.Record, h voter.Hash, mode RemovalMode, version int, date string) bool {
 	if idx, seen := c.hashes[h]; seen {
 		// Known record: remember that this snapshot contained it, too
 		// (enables snapshot-range reconstruction), but count nothing new.
@@ -201,8 +221,8 @@ func (imp *Import) Add(r voter.Record) {
 		if n := len(entry.Snapshots); n == 0 || entry.Snapshots[n-1] != date {
 			entry.Snapshots = append(entry.Snapshots, date)
 		}
-		if d.Mode != RemoveNone {
-			return
+		if mode != RemoveNone {
+			return false
 		}
 		// RemoveNone imports everything; fall through without
 		// registering the duplicate hash again.
@@ -210,14 +230,14 @@ func (imp *Import) Add(r voter.Record) {
 			Rec: r, Hash: h, FirstVersion: version, Snapshots: []string{date},
 		})
 		c.Inserted[date]++
-		return
+		return false
 	}
-	imp.st.NewRecords++
 	c.hashes[h] = len(c.Records)
 	c.Records = append(c.Records, RecordEntry{
 		Rec: r, Hash: h, FirstVersion: version, Snapshots: []string{date},
 	})
 	c.Inserted[date]++
+	return true
 }
 
 // Close finishes the import round, records its statistics and returns them.
@@ -233,26 +253,14 @@ func (imp *Import) Close() ImportStats {
 
 // ImportSnapshotFile streams one TSV snapshot file through the removal mode
 // without materializing it (the scalability path for register-sized files).
+// ImportSnapshotFileParallel is the multi-core equivalent.
 func (d *Dataset) ImportSnapshotFile(path string) (ImportStats, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return ImportStats{}, err
 	}
 	defer f.Close()
-	var imp *Import
-	if _, err := voter.StreamTSV(f, func(r voter.Record) error {
-		if imp == nil {
-			imp = d.BeginImport(r.SnapshotDate())
-		}
-		imp.Add(r)
-		return nil
-	}); err != nil {
-		return ImportStats{}, err
-	}
-	if imp == nil {
-		imp = d.BeginImport("")
-	}
-	return imp.Close(), nil
+	return d.importReaderSequential(f)
 }
 
 // Publish closes the pending import round as a new version (Fig. 2, step 3)

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Metrics must satisfy the ingest pipeline's observer interface so a process
+// importing snapshots can expose ingest counters on its /metrics endpoint.
+var _ core.IngestObserver = (*Metrics)(nil)
+
+func TestAddNAndIngestPrometheusFamily(t *testing.T) {
+	m := NewMetrics()
+	m.AddN("ingest_rows_decoded", 1200)
+	m.AddN("ingest_rows_decoded", 300)
+	m.AddN("ingest_records_added", 40)
+	m.Inc("panics")
+
+	if got := m.Counter("ingest_rows_decoded"); got != 1500 {
+		t.Fatalf("AddN accumulated %d, want 1500", got)
+	}
+
+	text := m.PrometheusText()
+	for _, want := range []string{
+		`ingest_pipeline_total{counter="rows_decoded"} 1500`,
+		`ingest_pipeline_total{counter="records_added"} 40`,
+		`http_server_events_total{event="panics"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus text missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `http_server_events_total{event="ingest_`) {
+		t.Error("ingest counters leaked into the http_server_events_total family")
+	}
+}

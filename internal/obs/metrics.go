@@ -76,6 +76,17 @@ func (m *Metrics) Inc(counter string) {
 	m.counters[counter]++
 }
 
+// AddN adds n to a named event counter. It is the bulk form of Inc used by
+// batch producers — notably the parallel ingest pipeline, whose ingest_*
+// counters (rows decoded, records added, duplicates removed, per-stage
+// stall milliseconds) land here so GET /metrics covers ingest alongside
+// serving. Metrics satisfies core.IngestObserver through this method.
+func (m *Metrics) AddN(counter string, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counters[counter] += n
+}
+
 // Counter reads a named event counter.
 func (m *Metrics) Counter(name string) int64 {
 	m.mu.Lock()
@@ -178,15 +189,29 @@ func (m *Metrics) PrometheusText() string {
 	fmt.Fprintf(&b, "# TYPE http_requests_in_flight gauge\n")
 	fmt.Fprintf(&b, "http_requests_in_flight %d\n", snap.InFlight)
 
-	names := make([]string, 0, len(snap.Counters))
+	// Counters split into two families: the ingest pipeline's ingest_*
+	// counters and the middleware's serving events.
+	var eventNames, ingestNames []string
 	for name := range snap.Counters {
-		names = append(names, name)
+		if strings.HasPrefix(name, "ingest_") {
+			ingestNames = append(ingestNames, name)
+		} else {
+			eventNames = append(eventNames, name)
+		}
 	}
-	sort.Strings(names)
+	sort.Strings(eventNames)
+	sort.Strings(ingestNames)
 	fmt.Fprintf(&b, "# HELP http_server_events_total Middleware events (panics, timeouts, shed).\n")
 	fmt.Fprintf(&b, "# TYPE http_server_events_total counter\n")
-	for _, name := range names {
+	for _, name := range eventNames {
 		fmt.Fprintf(&b, "http_server_events_total{event=%q} %d\n", name, snap.Counters[name])
+	}
+	if len(ingestNames) > 0 {
+		fmt.Fprintf(&b, "# HELP ingest_pipeline_total Parallel snapshot-ingest pipeline counters.\n")
+		fmt.Fprintf(&b, "# TYPE ingest_pipeline_total counter\n")
+		for _, name := range ingestNames {
+			fmt.Fprintf(&b, "ingest_pipeline_total{counter=%q} %d\n", strings.TrimPrefix(name, "ingest_"), snap.Counters[name])
+		}
 	}
 
 	fmt.Fprintf(&b, "# HELP http_requests_total Requests served, by route and status code.\n")

@@ -1,8 +1,10 @@
-// Package obs is the observability-and-robustness layer of the serving
-// stack: composable net/http middleware (structured request logging, panic
-// recovery, per-request timeouts, an in-flight limiter and per-route
-// metrics) plus the Metrics registry they report into, exposed at
-// GET /metrics in JSON and Prometheus text formats.
+// Package obs is the observability-and-robustness layer of the serving and
+// ingest infrastructure the paper runs on managed services (§5): composable
+// net/http middleware (structured request logging, panic recovery,
+// per-request timeouts, an in-flight limiter and per-route metrics) plus
+// the Metrics registry they report into — which also collects the ingest
+// pipeline counters via core.IngestObserver — exposed at GET /metrics in
+// JSON and Prometheus text formats.
 //
 // The middleware is deliberately independent of the API it wraps; the one
 // shared convention is the error envelope — {"error": {"code", "message"}}

@@ -1,10 +1,10 @@
-// Package simil provides the string-similarity substrate used throughout the
-// ncvoter test-data generator: edit-distance measures (Levenshtein,
-// Damerau-Levenshtein and the paper's extended variant that forgives missing
-// and abbreviated values), sequence measures (Jaro, Jaro-Winkler), token and
-// q-gram set measures (Jaccard), hybrid measures (Generalized Jaccard,
-// Monge-Elkan), the Soundex phonetic code, and column-entropy attribute
-// weighting.
+// Package simil provides the string-similarity substrate that the paper's
+// scoring and usability experiments build on (§6.2, §6.3, §6.5):
+// edit-distance measures (Levenshtein, Damerau-Levenshtein and the paper's
+// extended variant that forgives missing and abbreviated values), sequence
+// measures (Jaro, Jaro-Winkler), token and q-gram set measures (Jaccard),
+// hybrid measures (Generalized Jaccard, Monge-Elkan), the Soundex phonetic
+// code, and column-entropy attribute weighting.
 //
 // All similarity functions return values in [0, 1] where 1 means identical.
 // All functions are pure and safe for concurrent use.

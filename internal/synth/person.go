@@ -2,10 +2,11 @@
 // population whose members register, re-register at elections through
 // manually filled forms (injecting realistic entry errors), move, marry,
 // and deregister, emitted as snapshot TSV files in the 90-attribute schema.
-// It is the stand-in for the real register described in DESIGN.md §2: the
-// generation pipeline only depends on the input's shape (stable object ids,
-// redundant rows across snapshots, outdated values, entry errors), all of
-// which the simulator reproduces with controllable rates.
+// It is the stand-in for the real register the paper's pipeline ingests
+// (§3-§4; substitution argument in DESIGN.md §2): the generation pipeline
+// only depends on the input's shape (stable object ids, redundant rows
+// across snapshots, outdated values, entry errors), all of which the
+// simulator reproduces with controllable rates.
 package synth
 
 import (

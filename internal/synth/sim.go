@@ -3,8 +3,10 @@ package synth
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/corrupt"
@@ -370,6 +372,51 @@ func WriteAll(cfg Config, dir string) ([]string, error) {
 			return nil, err
 		}
 		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+// WriteAllParallel is WriteAll with the snapshot file emission spread over a
+// worker pool: snapshot generation stays sequential (the simulator is a
+// stateful year-over-year process, so parallelizing it would change the
+// data), but the TSV encoding and disk write of snapshot k overlap the
+// generation of snapshot k+1 and each other. The emitted files and the
+// returned snapshot-ordered paths are identical to WriteAll for any worker
+// count. workers <= 0 selects GOMAXPROCS; workers == 1 is WriteAll.
+func WriteAllParallel(cfg Config, dir string, workers int) ([]string, error) {
+	if workers == 1 || len(cfg.Snapshots) == 0 {
+		return WriteAll(cfg, dir)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct {
+		idx  int
+		snap voter.Snapshot
+	}
+	jobs := make(chan job, workers)
+	paths := make([]string, len(cfg.Snapshots))
+	errs := make([]error, len(cfg.Snapshots))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				paths[j.idx], errs[j.idx] = voter.WriteSnapshotFile(dir, j.snap)
+			}
+		}()
+	}
+	sim := New(cfg)
+	for i := range cfg.Snapshots {
+		jobs <- job{idx: i, snap: sim.Next()}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return paths, nil
 }

@@ -49,6 +49,45 @@ func WriteTSV(w io.Writer, s Snapshot) error {
 	return bw.Flush()
 }
 
+// TSV line limits, shared by the sequential scanner below and the chunked
+// parallel reader in internal/core so both paths accept and reject exactly
+// the same inputs. A 90-attribute row with export padding easily exceeds
+// bufio's 64 KiB default token limit, so the scanner always gets an
+// explicit buffer: ScanBufferBytes up front, growing to MaxLineBytes.
+const (
+	// ScanBufferBytes is the initial scanner buffer size.
+	ScanBufferBytes = 64 << 10
+	// MaxLineBytes is the largest accepted TSV line; longer lines fail
+	// with bufio.ErrTooLong on every read path.
+	MaxLineBytes = 4 << 20
+)
+
+// ParseHeader validates one header line against the canonical schema: it
+// must list exactly the canonical attribute names in canonical order.
+func ParseHeader(text string) error {
+	header := strings.Split(text, "\t")
+	if len(header) != NumAttributes {
+		return fmt.Errorf("voter: header has %d columns, want %d", len(header), NumAttributes)
+	}
+	for i, name := range header {
+		if name != Attributes[i].Name {
+			return fmt.Errorf("voter: header column %d is %q, want %q", i, name, Attributes[i].Name)
+		}
+	}
+	return nil
+}
+
+// DecodeRow splits one data row into a Record, validating the column count.
+// line is the 1-based line number of the row within its file (the header is
+// line 1) and only feeds the error message.
+func DecodeRow(text string, line int) (Record, error) {
+	vals := strings.Split(text, "\t")
+	if len(vals) != NumAttributes {
+		return Record{}, fmt.Errorf("voter: line %d has %d columns, want %d", line, len(vals), NumAttributes)
+	}
+	return Record{Values: vals}, nil
+}
+
 // StreamTSV parses a snapshot from r row by row, invoking fn for every
 // record without materializing the file — the path for register files too
 // large to hold in memory. The header row must list exactly the canonical
@@ -56,31 +95,25 @@ func WriteTSV(w io.Writer, s Snapshot) error {
 // stream. The returned count is the number of rows delivered.
 func StreamTSV(r io.Reader, fn func(Record) error) (int, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	sc.Buffer(make([]byte, ScanBufferBytes), MaxLineBytes)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
 			return 0, err
 		}
 		return 0, fmt.Errorf("voter: empty TSV input, missing header")
 	}
-	header := strings.Split(sc.Text(), "\t")
-	if len(header) != NumAttributes {
-		return 0, fmt.Errorf("voter: header has %d columns, want %d", len(header), NumAttributes)
-	}
-	for i, name := range header {
-		if name != Attributes[i].Name {
-			return 0, fmt.Errorf("voter: header column %d is %q, want %q", i, name, Attributes[i].Name)
-		}
+	if err := ParseHeader(sc.Text()); err != nil {
+		return 0, err
 	}
 	line := 1
 	n := 0
 	for sc.Scan() {
 		line++
-		vals := strings.Split(sc.Text(), "\t")
-		if len(vals) != NumAttributes {
-			return n, fmt.Errorf("voter: line %d has %d columns, want %d", line, len(vals), NumAttributes)
+		rec, err := DecodeRow(sc.Text(), line)
+		if err != nil {
+			return n, err
 		}
-		if err := fn(Record{Values: vals}); err != nil {
+		if err := fn(rec); err != nil {
 			return n, err
 		}
 		n++

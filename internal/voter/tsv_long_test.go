@@ -1,0 +1,84 @@
+package voter
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// longLineSnapshot renders a snapshot whose middle record carries one value
+// of the given size — a row far beyond bufio's 64 KiB default token limit
+// once the other 89 columns are added.
+func longLineSnapshot(t *testing.T, size int) []byte {
+	t.Helper()
+	snap := Snapshot{Date: "2012-11-06"}
+	for i := 0; i < 3; i++ {
+		r := NewRecord()
+		r.SetName("ncid", "ZZ00000"+string(rune('1'+i)))
+		r.SetName("snapshot_dt", "2012-11-06")
+		if i == 1 {
+			r.SetName("street_name", strings.Repeat("A", size))
+		}
+		snap.Records = append(snap.Records, r)
+	}
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamTSVLongLine is the regression test for the scanner buffer: a
+// 1 MiB row must stream (the default bufio.Scanner token limit is 64 KiB
+// and would fail mid-snapshot), and a row beyond MaxLineBytes must fail
+// loudly with bufio.ErrTooLong instead of silently truncating.
+func TestStreamTSVLongLine(t *testing.T) {
+	data := longLineSnapshot(t, 1<<20)
+	n, err := StreamTSV(bytes.NewReader(data), func(r Record) error { return nil })
+	if err != nil {
+		t.Fatalf("1 MiB line: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("streamed %d rows, want 3", n)
+	}
+
+	over := longLineSnapshot(t, MaxLineBytes+1)
+	n, err = StreamTSV(bytes.NewReader(over), func(r Record) error { return nil })
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("over-limit line: got %v, want bufio.ErrTooLong", err)
+	}
+	if n != 1 {
+		t.Fatalf("delivered %d rows before the over-limit line, want 1", n)
+	}
+}
+
+func TestParseHeaderAndDecodeRow(t *testing.T) {
+	names := make([]string, NumAttributes)
+	for i, a := range Attributes {
+		names[i] = a.Name
+	}
+	if err := ParseHeader(strings.Join(names, "\t")); err != nil {
+		t.Fatalf("canonical header rejected: %v", err)
+	}
+	if err := ParseHeader("a\tb"); err == nil {
+		t.Fatal("short header accepted")
+	}
+	names[0] = "not_ncid"
+	if err := ParseHeader(strings.Join(names, "\t")); err == nil {
+		t.Fatal("renamed column accepted")
+	}
+
+	if _, err := DecodeRow("x\ty", 7); err == nil || !strings.Contains(err.Error(), "line 7") {
+		t.Fatalf("DecodeRow error should name the line: %v", err)
+	}
+	row := strings.TrimRight(strings.Repeat("v\t", NumAttributes), "\t")
+	rec, err := DecodeRow(row, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Values) != NumAttributes {
+		t.Fatalf("decoded %d values, want %d", len(rec.Values), NumAttributes)
+	}
+}

@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race test-short serve-race ingest-race docs
+.PHONY: ci fmt vet build test race test-short serve-race ingest-race score-race bench-matching docs
 
-ci: fmt vet build race docs
+ci: fmt vet build race docs score-race
 
 # Fail when any tracked Go file is not gofmt-clean.
 fmt:
@@ -24,8 +24,11 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# The race-enabled integration suite is ~10x slower than the plain one;
+# Go's default 10-minute per-binary timeout is too tight for
+# internal/bench on small hosts, so set an explicit budget.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 # The serving-stack subset of the race suite — fast enough for a pre-commit
 # check of docstore/httpapi/obs changes.
@@ -36,6 +39,18 @@ serve-race:
 # byte-identical-to-sequential guarantee of docs/ARCHITECTURE.md.
 ingest-race:
 	$(GO) test -race -run 'TestParallelImport|TestStreamTSVLongLine' ./internal/core ./internal/voter
+
+# The parallel-scoring equivalence suite under the race detector — the
+# bit-identical-to-sequential guarantee of the §6.3/§6.5 scoring engine
+# (docs/ARCHITECTURE.md "Scoring engine").
+score-race:
+	$(GO) test -race -run 'TestParallelScore|TestEntropyDeterministic|TestSoftCosineDeterministic|TestIntoVariantsMatch|TestHybridIntoVariantsMatch|TestEvaluateAllParallel' \
+		./internal/dedup ./internal/simil ./internal/hetero ./internal/plaus ./internal/core
+
+# Matching-throughput ladder (pairs/sec per measure, legacy vs engine) —
+# the numbers behind the EXPERIMENTS.md matching section.
+bench-matching:
+	$(GO) run ./cmd/ncbench -scale small -exp matching
 
 # Fail when the README links to a docs/ file that does not exist.
 docs:

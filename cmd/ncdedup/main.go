@@ -6,6 +6,7 @@
 // Usage:
 //
 //	ncdedup -in nc2.tsv -passes 5 -window 20
+//	ncdedup -in nc2.tsv -workers 8   # parallel scoring engine, identical output
 package main
 
 import (
@@ -20,11 +21,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ncdedup: ")
 	var (
-		in     = flag.String("in", "", "labeled dataset file (from nccustom)")
-		passes = flag.Int("passes", 5, "SNM passes over the most unique attributes")
-		window = flag.Int("window", 20, "SNM window size")
-		steps  = flag.Int("steps", 100, "threshold sweep steps")
-		curves = flag.Bool("curves", false, "print the full F1 curve per measure")
+		in      = flag.String("in", "", "labeled dataset file (from nccustom)")
+		passes  = flag.Int("passes", 5, "SNM passes over the most unique attributes")
+		window  = flag.Int("window", 20, "SNM window size")
+		steps   = flag.Int("steps", 100, "threshold sweep steps")
+		curves  = flag.Bool("curves", false, "print the full F1 curve per measure")
+		workers = flag.Int("workers", 1, "scoring workers; >1 uses the parallel engine (identical results)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -44,7 +46,12 @@ func main() {
 		len(cands), len(keys), *window, dedup.BlockingRecall(ds, cands))
 
 	for _, m := range dedup.Measures {
-		curve := dedup.EvaluateCandidates(ds, m, cands, *steps)
+		var curve dedup.Curve
+		if *workers > 1 {
+			curve = dedup.EvaluateCandidatesParallel(ds, m, cands, *steps, dedup.ScoreOpts{Workers: *workers})
+		} else {
+			curve = dedup.EvaluateCandidates(ds, m, cands, *steps)
+		}
 		f1, th := curve.BestF1()
 		fmt.Printf("%-12s best F1 %.3f at threshold %.2f\n", m, f1, th)
 		if *curves {

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/dedup"
+)
+
+// MatchingPoint is one measurement of the matching-throughput experiment:
+// one similarity measure scored through the parallel engine at one worker
+// count, against the legacy sequential matcher as baseline.
+type MatchingPoint struct {
+	Measure        string  `json:"measure"`
+	Workers        int     `json:"workers"`
+	Pairs          int     `json:"pairs"`
+	Seconds        float64 `json:"seconds"`
+	PairsPerSecond float64 `json:"pairsPerSecond"`
+	// Speedup is against the legacy sequential matcher on the same measure —
+	// at workers=1 it isolates the preprocessing + memo-cache win.
+	Speedup     float64 `json:"speedup"`
+	MemoHitRate float64 `json:"memoHitRate"`
+	// Identical records the bit-identity check: the engine's curve must
+	// deep-equal the sequential reference at every worker count.
+	Identical bool `json:"identical"`
+}
+
+// MatchingResult is the full experiment: the evaluated dataset, the legacy
+// per-measure baselines and the engine ladder.
+type MatchingResult struct {
+	Dataset       string             `json:"dataset"`
+	GOMAXPROCS    int                `json:"gomaxprocs"`
+	Candidates    int                `json:"candidates"`
+	LegacySeconds map[string]float64 `json:"legacySeconds"`
+	Points        []MatchingPoint    `json:"points"`
+}
+
+// scoreCounters is a minimal dedup.ScoreObserver for the memo hit rate.
+type scoreCounters struct {
+	mu sync.Mutex
+	n  map[string]int64
+}
+
+func (o *scoreCounters) AddN(counter string, n int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.n == nil {
+		o.n = map[string]int64{}
+	}
+	o.n[counter] += n
+}
+
+// DefaultMatchingWorkers is the worker ladder of the experiment (GOMAXPROCS
+// appended when absent).
+func DefaultMatchingWorkers() []int { return DefaultIngestWorkers() }
+
+// RunMatchingThroughput benchmarks the §6.5 pair-scoring path on the NC1
+// customization: the legacy per-pair Matcher sets the sequential baseline
+// per measure, then the parallel engine runs the worker ladder. Every engine
+// curve is checked for exact equality with the baseline — a throughput
+// number from a diverging scorer would be meaningless. jsonPath, when
+// non-empty, receives the result as machine-readable JSON so the perf
+// trajectory is tracked across commits.
+func RunMatchingThroughput(w *Workspace, top int, workerCounts []int, jsonPath string, out io.Writer) (MatchingResult, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = DefaultMatchingWorkers()
+	}
+	ds := NCDatasets(w, top)[0]
+	passes := dedup.MostUniqueAttrs(ds, snmPasses)
+	cands := dedup.SortedNeighborhood(ds, passes, snmWindow)
+	res := MatchingResult{
+		Dataset:       ds.Name,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Candidates:    len(cands),
+		LegacySeconds: map[string]float64{},
+	}
+	fmt.Fprintf(out, "Matching throughput: %s, %d records, %d candidate pairs (GOMAXPROCS %d)\n",
+		ds.Name, ds.NumRecords(), len(cands), res.GOMAXPROCS)
+	fmt.Fprintf(out, "%-14s %8s %9s %12s %8s %9s %10s\n",
+		"measure", "workers", "seconds", "pairs/s", "speedup", "memo hit", "identical")
+
+	for _, m := range dedup.AllMeasures {
+		start := time.Now()
+		ref := dedup.EvaluateCandidates(ds, m, cands, sweepSteps)
+		legacy := time.Since(start).Seconds()
+		res.LegacySeconds[string(m)] = legacy
+		fmt.Fprintf(out, "%-14s %8s %9.3f %12.0f %8s %9s %10s\n",
+			m, "legacy", legacy, float64(len(cands))/legacy, "1.00x", "-", "-")
+
+		for _, workers := range workerCounts {
+			obs := &scoreCounters{}
+			start = time.Now()
+			curve := dedup.EvaluateCandidatesParallel(ds, m, cands, sweepSteps,
+				dedup.ScoreOpts{Workers: workers, Observer: obs})
+			secs := time.Since(start).Seconds()
+			p := MatchingPoint{
+				Measure:   string(m),
+				Workers:   workers,
+				Pairs:     len(cands),
+				Seconds:   secs,
+				Identical: reflect.DeepEqual(curve, ref),
+			}
+			if secs > 0 {
+				p.PairsPerSecond = float64(len(cands)) / secs
+				p.Speedup = legacy / secs
+			}
+			if total := obs.n["score_memo_hits"] + obs.n["score_memo_misses"]; total > 0 {
+				p.MemoHitRate = float64(obs.n["score_memo_hits"]) / float64(total)
+			}
+			res.Points = append(res.Points, p)
+			fmt.Fprintf(out, "%-14s %8d %9.3f %12.0f %7.2fx %8.1f%% %10v\n",
+				m, p.Workers, p.Seconds, p.PairsPerSecond, p.Speedup, p.MemoHitRate*100, p.Identical)
+			if !p.Identical {
+				return res, fmt.Errorf("matching: %s at workers=%d diverged from the sequential curve", m, workers)
+			}
+		}
+	}
+
+	if jsonPath != "" {
+		body, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return res, err
+		}
+		if err := os.WriteFile(jsonPath, append(body, '\n'), 0o644); err != nil {
+			return res, err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return res, nil
+}

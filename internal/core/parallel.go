@@ -9,12 +9,27 @@ import (
 // a worker pool. Clusters are independent — each owns its version-similarity
 // map — so the only coordination is the work queue. workers <= 0 selects
 // GOMAXPROCS. The result is identical to the sequential UpdateScores.
+//
+// The scorer is shared by all workers; it must be safe for concurrent use.
+// Scorers that carry per-call scratch state (the allocation-free
+// plausibility and heterogeneity scorers) go through
+// UpdateScoresParallelFactory instead.
 func (d *Dataset) UpdateScoresParallel(kind string, scorer PairScorer, workers int) {
+	d.UpdateScoresParallelFactory(kind, func() PairScorer { return scorer }, workers)
+}
+
+// UpdateScoresParallelFactory is UpdateScoresParallel with one scorer
+// instance per worker: the factory runs once on each worker goroutine, so a
+// scorer may own mutable scratch buffers (DP rows, value slices) without
+// any locking. Cluster results are written only into that cluster's own
+// similarity map, so for deterministic scorers the outcome is identical to
+// sequential for any worker count.
+func (d *Dataset) UpdateScoresParallelFactory(kind string, factory func() PairScorer, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		d.UpdateScores(kind, scorer)
+		d.UpdateScores(kind, factory())
 		return
 	}
 	jobs := make(chan *Cluster, workers*2)
@@ -23,6 +38,7 @@ func (d *Dataset) UpdateScoresParallel(kind string, scorer PairScorer, workers i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scorer := factory()
 			for c := range jobs {
 				scoreCluster(c, kind, scorer)
 			}

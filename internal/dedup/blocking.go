@@ -13,15 +13,22 @@ type Pair struct{ I, J int }
 // SortedNeighborhood runs a multi-pass Sorted Neighborhood Method: one pass
 // per sorting key over the passes' attribute indices, each sliding a window
 // of the given size over the sorted order and emitting all pairs inside the
-// window. The union of all passes is returned (§6.5: one pass for each of
-// the five most unique attributes, w = 20).
+// window. The union of all passes is returned, sorted by (I, J) and
+// deduplicated (§6.5: one pass for each of the five most unique attributes,
+// w = 20).
+//
+// The union used to be built through a map[Pair]bool seen-set; at large
+// windows that map dominated allocation and GC time. Emitting every
+// in-window pair and sort+compacting once costs O(P·n·w · log) comparisons
+// on flat slices instead — measurably lighter, and the sorted output order
+// is deterministic and documented (callers sort by similarity anyway).
 func SortedNeighborhood(ds *Dataset, passes []int, window int) []Pair {
 	if window < 2 {
 		window = 2
 	}
-	seen := map[Pair]bool{}
-	var out []Pair
-	order := make([]int, len(ds.Records))
+	n := len(ds.Records)
+	out := make([]Pair, 0, len(passes)*n*(window-1)/2)
+	order := make([]int, n)
 	for _, attr := range passes {
 		for i := range order {
 			order[i] = i
@@ -32,23 +39,37 @@ func SortedNeighborhood(ds *Dataset, passes []int, window int) []Pair {
 		})
 		for x := range order {
 			hi := x + window
-			if hi > len(order) {
-				hi = len(order)
+			if hi > n {
+				hi = n
 			}
 			for y := x + 1; y < hi; y++ {
 				i, j := order[x], order[y]
 				if i > j {
 					i, j = j, i
 				}
-				p := Pair{i, j}
-				if !seen[p] {
-					seen[p] = true
-					out = append(out, p)
-				}
+				out = append(out, Pair{i, j})
 			}
 		}
 	}
-	return out
+	return sortDedupePairs(out)
+}
+
+// sortDedupePairs sorts pairs by (I, J) and compacts duplicates in place.
+func sortDedupePairs(pairs []Pair) []Pair {
+	sort.Slice(pairs, func(x, y int) bool {
+		if pairs[x].I != pairs[y].I {
+			return pairs[x].I < pairs[y].I
+		}
+		return pairs[x].J < pairs[y].J
+	})
+	w := 0
+	for i, p := range pairs {
+		if i == 0 || p != pairs[w-1] {
+			pairs[w] = p
+			w++
+		}
+	}
+	return pairs[:w]
 }
 
 // MostUniqueAttrs returns the indices of the k attributes with the highest

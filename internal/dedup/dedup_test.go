@@ -12,7 +12,7 @@ import (
 // toyDataset builds a small labeled dataset: nClusters clusters of size
 // sizes[i%len(sizes)], values drawn from pools with light typos on
 // duplicates.
-func toyDataset(t *testing.T, nClusters int, sizes []int, errRate float64) *Dataset {
+func toyDataset(t testing.TB, nClusters int, sizes []int, errRate float64) *Dataset {
 	t.Helper()
 	rng := rand.New(rand.NewSource(42))
 	firsts := []string{"JOHN", "MARY", "ROBERT", "LINDA", "JAMES", "PATRICIA", "DAVID", "BARBARA", "WILLIAM", "SUSAN"}

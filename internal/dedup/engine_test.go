@@ -1,0 +1,190 @@
+package dedup
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// equivWorkerCounts is the worker ladder of the equivalence suite.
+func equivWorkerCounts() []int {
+	ws := []int{1, 2, 7}
+	maxprocs := runtime.GOMAXPROCS(0)
+	for _, w := range ws {
+		if w == maxprocs {
+			return ws
+		}
+	}
+	return append(ws, maxprocs)
+}
+
+// requireCurvesIdentical fails unless the two curves agree exactly,
+// including the bit patterns of every float.
+func requireCurvesIdentical(t *testing.T, label string, want, got Curve) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		if len(want.Points) != len(got.Points) {
+			t.Fatalf("%s: %d points, want %d", label, len(got.Points), len(want.Points))
+		}
+		for i := range want.Points {
+			w, g := want.Points[i], got.Points[i]
+			if math.Float64bits(w.Precision) != math.Float64bits(g.Precision) ||
+				math.Float64bits(w.Recall) != math.Float64bits(g.Recall) ||
+				math.Float64bits(w.F1) != math.Float64bits(g.F1) ||
+				math.Float64bits(w.Threshold) != math.Float64bits(g.Threshold) {
+				t.Fatalf("%s: point %d diverges:\n  want %+v\n  got  %+v", label, i, w, g)
+			}
+		}
+		t.Fatalf("%s: curves differ outside Points", label)
+	}
+}
+
+// TestParallelScoreEquivalence is the engine's bit-identity contract: for
+// every measure and every worker count the parallel curve equals the
+// sequential reference exactly. `make score-race` runs it under the race
+// detector.
+func TestParallelScoreEquivalence(t *testing.T) {
+	ds := toyDataset(t, 40, []int{1, 2, 3}, 0.4)
+	passes := MostUniqueAttrs(ds, 3)
+	candidates := SortedNeighborhood(ds, passes, 20)
+	if len(candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, m := range AllMeasures {
+		want := EvaluateCandidates(ds, m, candidates, 50)
+		for _, workers := range equivWorkerCounts() {
+			got := EvaluateCandidatesParallel(ds, m, candidates, 50, ScoreOpts{Workers: workers})
+			requireCurvesIdentical(t, string(m)+"/workers="+itoa(workers), want, got)
+		}
+	}
+}
+
+// TestParallelScoreEquivalenceTinyMemo re-runs two measures with a memo
+// cache of a handful of entries (constant skips) and with caching disabled:
+// the cache policy must never leak into the scores.
+func TestParallelScoreEquivalenceTinyMemo(t *testing.T) {
+	ds := toyDataset(t, 25, []int{2, 3}, 0.5)
+	candidates := SortedNeighborhood(ds, MostUniqueAttrs(ds, 2), 10)
+	for _, m := range []Measure{MeasureMELev, MeasureTrigramJaccard} {
+		want := EvaluateCandidates(ds, m, candidates, 25)
+		for _, cap := range []int{64, -1} {
+			got := EvaluateCandidatesParallel(ds, m, candidates, 25, ScoreOpts{Workers: 3, MemoCap: cap})
+			requireCurvesIdentical(t, string(m)+"/memocap", want, got)
+		}
+	}
+}
+
+// TestEvaluateAllParallelMatchesSequential covers the paper's three-measure
+// wrapper.
+func TestEvaluateAllParallelMatchesSequential(t *testing.T) {
+	ds := toyDataset(t, 20, []int{2}, 0.3)
+	want := EvaluateAll(ds, 2, 10, 20)
+	got := EvaluateAllParallel(ds, 2, 10, 20, ScoreOpts{Workers: 4})
+	if len(got) != len(want) {
+		t.Fatalf("curves = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		requireCurvesIdentical(t, string(want[i].Measure), want[i], got[i])
+	}
+}
+
+// countingObserver is a ScoreObserver for tests.
+type countingObserver struct {
+	mu sync.Mutex
+	n  map[string]int64
+}
+
+func (o *countingObserver) AddN(counter string, n int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.n == nil {
+		o.n = map[string]int64{}
+	}
+	o.n[counter] += n
+}
+
+// TestParallelScoreObserverCounters checks the score_pipeline_total family:
+// pairs scored, values preprocessed, and a high memo hit rate on repetitive
+// data.
+func TestParallelScoreObserverCounters(t *testing.T) {
+	ds := toyDataset(t, 30, []int{2, 3}, 0.2)
+	candidates := SortedNeighborhood(ds, MostUniqueAttrs(ds, 3), 20)
+	obs := &countingObserver{}
+	EvaluateCandidatesParallel(ds, MeasureTrigramJaccard, candidates, 20,
+		ScoreOpts{Workers: 2, Observer: obs})
+	if got := obs.n["score_pairs_scored"]; got != int64(len(candidates)) {
+		t.Errorf("score_pairs_scored = %d, want %d", got, len(candidates))
+	}
+	if obs.n["score_values_preprocessed"] == 0 {
+		t.Error("score_values_preprocessed = 0")
+	}
+	hits, misses := obs.n["score_memo_hits"], obs.n["score_memo_misses"]
+	if hits+misses == 0 {
+		t.Fatal("no memo traffic recorded")
+	}
+	// Toy values come from tiny pools: the hit rate must be substantial.
+	if rate := float64(hits) / float64(hits+misses); rate < 0.5 {
+		t.Errorf("memo hit rate = %.2f, want >= 0.5 on repetitive data", rate)
+	}
+	if obs.n["score_memo_skips"] != 0 {
+		t.Errorf("score_memo_skips = %d with default cap", obs.n["score_memo_skips"])
+	}
+}
+
+// TestSortedNeighborhoodOrdering pins the documented output order: sorted
+// by (I, J), strictly increasing, no duplicates.
+func TestSortedNeighborhoodOrdering(t *testing.T) {
+	ds := toyDataset(t, 30, []int{2, 3}, 0.2)
+	pairs := SortedNeighborhood(ds, MostUniqueAttrs(ds, 3), 8)
+	if len(pairs) == 0 {
+		t.Fatal("no pairs")
+	}
+	for k := 1; k < len(pairs); k++ {
+		prev, cur := pairs[k-1], pairs[k]
+		if cur.I < prev.I || (cur.I == prev.I && cur.J <= prev.J) {
+			t.Fatalf("pairs out of order at %d: %v then %v", k, prev, cur)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// BenchmarkEvaluateCandidatesLegacy measures the pre-engine sequential
+// matcher; BenchmarkEvaluateCandidatesEngine1 the preprocessed engine at
+// workers=1 — the single-thread speedup the acceptance criterion cites.
+func BenchmarkEvaluateCandidatesLegacy(b *testing.B) {
+	ds := benchDataset(b)
+	cands := SortedNeighborhood(ds, MostUniqueAttrs(ds, 3), 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvaluateCandidates(ds, MeasureTrigramJaccard, cands, 50)
+	}
+}
+
+func BenchmarkEvaluateCandidatesEngine1(b *testing.B) {
+	ds := benchDataset(b)
+	cands := SortedNeighborhood(ds, MostUniqueAttrs(ds, 3), 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvaluateCandidatesParallel(ds, MeasureTrigramJaccard, cands, 50, ScoreOpts{Workers: 1})
+	}
+}
+
+func benchDataset(b *testing.B) *Dataset {
+	b.Helper()
+	return toyDataset(b, 120, []int{1, 2, 3}, 0.4)
+}

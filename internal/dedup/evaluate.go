@@ -40,22 +40,42 @@ func Evaluate(ds *Dataset, m Measure, numPasses, window, steps int) Curve {
 	return EvaluateCandidates(ds, m, candidates, steps)
 }
 
-// EvaluateCandidates scores the given candidate pairs and sweeps the
-// decision threshold.
+// EvaluateCandidates scores the given candidate pairs with the plain
+// per-pair Matcher and sweeps the decision threshold. It is the sequential
+// reference implementation; EvaluateCandidatesParallel produces the same
+// Curve — bit for bit — from the preprocessed engine at any worker count.
 func EvaluateCandidates(ds *Dataset, m Measure, candidates []Pair, steps int) Curve {
 	matcher := NewMatcher(ds, m)
+	sims := make([]float64, len(candidates))
+	for k, p := range candidates {
+		sims[k] = matcher.RecordSim(p.I, p.J)
+	}
+	return sweepCurve(ds, m, candidates, sims, steps)
+}
+
+// EvaluateCandidatesParallel is EvaluateCandidates through the parallel
+// scoring engine (engine.go): preprocessing pass, scratch kernels, memo
+// cache, worker pool. The returned Curve is identical to the sequential
+// one for any opts.Workers — workers write into an index-addressed result
+// slice and every kernel is bit-compatible with its allocating
+// counterpart.
+func EvaluateCandidatesParallel(ds *Dataset, m Measure, candidates []Pair, steps int, opts ScoreOpts) Curve {
+	eng := newEngine(ds, m, opts)
+	sims := eng.scoreAll(candidates, opts.workersOrDefault())
+	return sweepCurve(ds, m, candidates, sims, steps)
+}
+
+// sweepCurve turns per-candidate similarities into the threshold-sweep
+// curve. Shared by the sequential and parallel paths so that both run the
+// exact same float pipeline after scoring.
+func sweepCurve(ds *Dataset, m Measure, candidates []Pair, sims []float64, steps int) Curve {
 	type scored struct {
 		sim float64
 		dup bool
 	}
 	scoredPairs := make([]scored, len(candidates))
-	candidateTrue := 0
 	for k, p := range candidates {
-		dup := ds.IsDuplicate(p.I, p.J)
-		if dup {
-			candidateTrue++
-		}
-		scoredPairs[k] = scored{matcher.RecordSim(p.I, p.J), dup}
+		scoredPairs[k] = scored{sims[k], ds.IsDuplicate(p.I, p.J)}
 	}
 	sort.Slice(scoredPairs, func(a, b int) bool { return scoredPairs[a].sim > scoredPairs[b].sim })
 
@@ -105,6 +125,19 @@ func EvaluateAll(ds *Dataset, numPasses, window, steps int) []Curve {
 	out := make([]Curve, 0, len(Measures))
 	for _, m := range Measures {
 		out = append(out, Evaluate(ds, m, numPasses, window, steps))
+	}
+	return out
+}
+
+// EvaluateAllParallel is EvaluateAll through the scoring engine: the
+// blocking runs once and every measure's sweep scores the shared candidate
+// set in parallel. Curves equal EvaluateAll's exactly.
+func EvaluateAllParallel(ds *Dataset, numPasses, window, steps int, opts ScoreOpts) []Curve {
+	passes := MostUniqueAttrs(ds, numPasses)
+	candidates := SortedNeighborhood(ds, passes, window)
+	out := make([]Curve, 0, len(Measures))
+	for _, m := range Measures {
+		out = append(out, EvaluateCandidatesParallel(ds, m, candidates, steps, opts))
 	}
 	return out
 }

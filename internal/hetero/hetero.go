@@ -27,6 +27,18 @@ func ValueSim(a, b string) float64 {
 	return s / 4
 }
 
+// ValueSimInto is ValueSim through caller-owned scratch buffers: the same
+// four comparisons in the same order, with the DP rows and token slices
+// reused across calls. Results match ValueSim bit for bit.
+func ValueSimInto(a, b string, sc *simil.Scratch) float64 {
+	la, lb := strings.ToLower(a), strings.ToLower(b)
+	s := simil.DamerauLevenshteinSimilarityInto(a, b, sc)
+	s += simil.DamerauLevenshteinSimilarityInto(la, lb, sc)
+	s += simil.MongeElkanDLInto(a, b, sc)
+	s += simil.MongeElkanDLInto(la, lb, sc)
+	return s / 4
+}
+
 // PairSim returns the weighted mean value similarity of two aligned value
 // slices. len(a), len(b) and len(weights) must agree.
 func PairSim(a, b []string, weights []float64) float64 {
@@ -100,6 +112,50 @@ func (s *Scorer) CorePairScorer() core.PairScorer {
 	return func(a, b voter.Record) float64 { return s.PairSim(a, b) }
 }
 
+// scorerScratch is the per-worker mutable state of the allocation-free
+// scoring path: kernel scratch plus the extracted value and score slices.
+type scorerScratch struct {
+	sc     simil.Scratch
+	va, vb []string
+	scores []float64
+}
+
+// extractInto is extract with a reused destination slice.
+func (s *Scorer) extractInto(r voter.Record, dst []string) []string {
+	dst = dst[:0]
+	for _, c := range s.cols {
+		dst = append(dst, strings.TrimSpace(r.Values[c]))
+	}
+	return dst
+}
+
+// pairSimInto scores one record pair through the scratch. The accumulation
+// order matches PairSim exactly (per-column ValueSim, then WeightedAverage),
+// so the result is bit-identical.
+func (s *Scorer) pairSimInto(a, b voter.Record, ss *scorerScratch) float64 {
+	ss.va = s.extractInto(a, ss.va)
+	ss.vb = s.extractInto(b, ss.vb)
+	if cap(ss.scores) < len(s.cols) {
+		ss.scores = make([]float64, len(s.cols))
+	}
+	ss.scores = ss.scores[:len(s.cols)]
+	for i := range ss.va {
+		ss.scores[i] = ValueSimInto(ss.va[i], ss.vb[i], &ss.sc)
+	}
+	return simil.WeightedAverage(ss.scores, s.weights)
+}
+
+// CorePairScorerFactory returns a factory producing one allocation-free
+// scorer per worker for core.UpdateScoresParallelFactory: each returned
+// PairScorer owns private scratch buffers, so it must not be shared between
+// goroutines, and scores equal PairSim's bit for bit.
+func (s *Scorer) CorePairScorerFactory() func() core.PairScorer {
+	return func() core.PairScorer {
+		ss := &scorerScratch{}
+		return func(a, b voter.Record) float64 { return s.pairSimInto(a, b, ss) }
+	}
+}
+
 // DatasetWeights computes the entropy weights of the given schema columns
 // from one record per cluster of the dataset — duplicates would distort the
 // uniqueness estimate (an otherwise unique id occurs multiple times), so
@@ -146,13 +202,14 @@ func Update(d *core.Dataset) {
 }
 
 // UpdateParallel is Update over a worker pool (workers <= 0 selects
-// GOMAXPROCS); the result is identical. The scorers are pure, so sharing
-// them between workers is safe.
+// GOMAXPROCS); the result is identical. Each worker gets its own
+// allocation-free scorer with private scratch buffers, so the hot path
+// performs no per-pair allocations.
 func UpdateParallel(d *core.Dataset, workers int) {
 	all := NewScorer(AllColumns(), DatasetWeights(d, AllColumns()))
 	person := NewScorer(PersonColumns(), DatasetWeights(d, PersonColumns()))
-	d.UpdateScoresParallel(core.KindHeteroAll, all.CorePairScorer(), workers)
-	d.UpdateScoresParallel(core.KindHeteroPerson, person.CorePairScorer(), workers)
+	d.UpdateScoresParallelFactory(core.KindHeteroAll, all.CorePairScorerFactory(), workers)
+	d.UpdateScoresParallelFactory(core.KindHeteroPerson, person.CorePairScorerFactory(), workers)
 }
 
 // ClusterHeterogeneity returns the per-cluster heterogeneity (1 - mean pair

@@ -189,18 +189,23 @@ func (m *Metrics) PrometheusText() string {
 	fmt.Fprintf(&b, "# TYPE http_requests_in_flight gauge\n")
 	fmt.Fprintf(&b, "http_requests_in_flight %d\n", snap.InFlight)
 
-	// Counters split into two families: the ingest pipeline's ingest_*
-	// counters and the middleware's serving events.
-	var eventNames, ingestNames []string
+	// Counters split into three families: the ingest pipeline's ingest_*
+	// counters, the scoring engine's score_* counters, and the middleware's
+	// serving events.
+	var eventNames, ingestNames, scoreNames []string
 	for name := range snap.Counters {
-		if strings.HasPrefix(name, "ingest_") {
+		switch {
+		case strings.HasPrefix(name, "ingest_"):
 			ingestNames = append(ingestNames, name)
-		} else {
+		case strings.HasPrefix(name, "score_"):
+			scoreNames = append(scoreNames, name)
+		default:
 			eventNames = append(eventNames, name)
 		}
 	}
 	sort.Strings(eventNames)
 	sort.Strings(ingestNames)
+	sort.Strings(scoreNames)
 	fmt.Fprintf(&b, "# HELP http_server_events_total Middleware events (panics, timeouts, shed).\n")
 	fmt.Fprintf(&b, "# TYPE http_server_events_total counter\n")
 	for _, name := range eventNames {
@@ -211,6 +216,13 @@ func (m *Metrics) PrometheusText() string {
 		fmt.Fprintf(&b, "# TYPE ingest_pipeline_total counter\n")
 		for _, name := range ingestNames {
 			fmt.Fprintf(&b, "ingest_pipeline_total{counter=%q} %d\n", strings.TrimPrefix(name, "ingest_"), snap.Counters[name])
+		}
+	}
+	if len(scoreNames) > 0 {
+		fmt.Fprintf(&b, "# HELP score_pipeline_total Parallel pair-scoring engine counters (pairs scored, values preprocessed, memo hits/misses/skips).\n")
+		fmt.Fprintf(&b, "# TYPE score_pipeline_total counter\n")
+		for _, name := range scoreNames {
+			fmt.Fprintf(&b, "score_pipeline_total{counter=%q} %d\n", strings.TrimPrefix(name, "score_"), snap.Counters[name])
 		}
 	}
 

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dedup"
+)
+
+// Metrics must satisfy the scoring engine's observer interface so a process
+// evaluating matching quality can expose scoring counters on /metrics.
+var _ dedup.ScoreObserver = (*Metrics)(nil)
+
+func TestScorePrometheusFamily(t *testing.T) {
+	m := NewMetrics()
+	m.AddN("score_pairs_scored", 1000)
+	m.AddN("score_memo_hits", 800)
+	m.AddN("score_memo_misses", 200)
+	m.AddN("score_memo_skips", 0)
+	m.AddN("ingest_rows_decoded", 5)
+	m.Inc("panics")
+
+	text := m.PrometheusText()
+	for _, want := range []string{
+		`score_pipeline_total{counter="pairs_scored"} 1000`,
+		`score_pipeline_total{counter="memo_hits"} 800`,
+		`score_pipeline_total{counter="memo_misses"} 200`,
+		`ingest_pipeline_total{counter="rows_decoded"} 5`,
+		`http_server_events_total{event="panics"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus text missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `http_server_events_total{event="score_`) {
+		t.Error("score counters leaked into the http_server_events_total family")
+	}
+	if strings.Contains(text, `ingest_pipeline_total{counter="score_`) ||
+		strings.Contains(text, `score_pipeline_total{counter="ingest_`) {
+		t.Error("score/ingest families cross-contaminated")
+	}
+}

@@ -116,6 +116,42 @@ func PairScore(a, b voter.Record) float64 {
 // core.KindPlausibility.
 func Scorer() core.PairScorer { return PairScore }
 
+// pairScratch is the per-worker mutable state of the allocation-free
+// plausibility scorer: kernel scratch plus fixed-size name-tuple and
+// component-score buffers.
+type pairScratch struct {
+	sc     simil.Scratch
+	na, nb [3]string
+	scores [4]float64
+}
+
+// ScorerFactory returns a factory producing one allocation-free plausibility
+// scorer per worker for core.UpdateScoresParallelFactory. Each returned
+// PairScorer owns private scratch buffers (not goroutine-safe) and computes
+// the same four components in the same order as PairScore, so scores are
+// bit-identical.
+func ScorerFactory() func() core.PairScorer {
+	return func() core.PairScorer {
+		ps := &pairScratch{}
+		tok := func(x, y string) float64 { return simil.ExtendedDamerauLevenshteinInto(x, y, &ps.sc) }
+		return func(a, b voter.Record) float64 {
+			ps.na[0] = normalizeMissing(a.Values[voter.IdxFirstName])
+			ps.na[1] = normalizeMissing(a.Values[voter.IdxMiddleName])
+			ps.na[2] = normalizeMissing(a.Values[voter.IdxLastName])
+			ps.nb[0] = normalizeMissing(b.Values[voter.IdxFirstName])
+			ps.nb[1] = normalizeMissing(b.Values[voter.IdxMiddleName])
+			ps.nb[2] = normalizeMissing(b.Values[voter.IdxLastName])
+			ps.scores[0] = simil.GeneralizedJaccardInto(ps.na[:], ps.nb[:], tok, genJaccThreshold, &ps.sc)
+			ps.scores[1] = SexSimilarity(a, b)
+			ps.scores[2] = YearOfBirthSimilarity(a, b)
+			ps.scores[3] = simil.ExtendedDamerauLevenshteinInto(
+				normalizeMissing(a.Values[voter.IdxBirthPlace]),
+				normalizeMissing(b.Values[voter.IdxBirthPlace]), &ps.sc)
+			return simil.WeightedAverage(ps.scores[:], componentWeights)
+		}
+	}
+}
+
 // Update computes (incrementally) the plausibility version-similarity map of
 // the dataset.
 func Update(d *core.Dataset) {
@@ -123,9 +159,10 @@ func Update(d *core.Dataset) {
 }
 
 // UpdateParallel is Update over a worker pool (workers <= 0 selects
-// GOMAXPROCS); the result is identical.
+// GOMAXPROCS); the result is identical. Each worker gets its own
+// allocation-free scorer with private scratch buffers.
 func UpdateParallel(d *core.Dataset, workers int) {
-	d.UpdateScoresParallel(core.KindPlausibility, PairScore, workers)
+	d.UpdateScoresParallelFactory(core.KindPlausibility, ScorerFactory(), workers)
 }
 
 // ClusterPlausibility returns the dataset's per-cluster plausibility: the

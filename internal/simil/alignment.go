@@ -9,79 +9,21 @@ import "math"
 
 // NeedlemanWunsch returns the global-alignment similarity of a and b in
 // [0, 1]: match +1, mismatch 0, gap 0, normalized by the longer length.
-// Identical strings score 1; two empty strings score 1.
+// Identical strings score 1; two empty strings score 1. Thin wrapper over
+// NeedlemanWunschInto with a fresh Scratch.
 func NeedlemanWunsch(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	la, lb := len(ra), len(rb)
-	if la == 0 && lb == 0 {
-		return 1
-	}
-	if la == 0 || lb == 0 {
-		return 0
-	}
-	prev := make([]int, lb+1)
-	cur := make([]int, lb+1)
-	for i := 1; i <= la; i++ {
-		for j := 1; j <= lb; j++ {
-			best := prev[j] // gap in b
-			if cur[j-1] > best {
-				best = cur[j-1] // gap in a
-			}
-			diag := prev[j-1]
-			if ra[i-1] == rb[j-1] {
-				diag++
-			}
-			if diag > best {
-				best = diag
-			}
-			cur[j] = best
-		}
-		prev, cur = cur, prev
-	}
-	return float64(prev[lb]) / float64(maxInt(la, lb))
+	var sc Scratch
+	return NeedlemanWunschInto(a, b, &sc)
 }
 
 // SmithWaterman returns the local-alignment similarity of a and b in
 // [0, 1]: the best local alignment with match +1, mismatch -1, gap -1,
 // normalized by the shorter length — so a value fully embedded in the other
-// scores 1. Two empty strings score 1; one empty string scores 0.
+// scores 1. Two empty strings score 1; one empty string scores 0. Thin
+// wrapper over SmithWatermanInto with a fresh Scratch.
 func SmithWaterman(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	la, lb := len(ra), len(rb)
-	if la == 0 && lb == 0 {
-		return 1
-	}
-	if la == 0 || lb == 0 {
-		return 0
-	}
-	prev := make([]int, lb+1)
-	cur := make([]int, lb+1)
-	best := 0
-	for i := 1; i <= la; i++ {
-		for j := 1; j <= lb; j++ {
-			score := prev[j-1]
-			if ra[i-1] == rb[j-1] {
-				score++
-			} else {
-				score--
-			}
-			if g := prev[j] - 1; g > score {
-				score = g
-			}
-			if g := cur[j-1] - 1; g > score {
-				score = g
-			}
-			if score < 0 {
-				score = 0
-			}
-			cur[j] = score
-			if score > best {
-				best = score
-			}
-		}
-		prev, cur = cur, prev
-	}
-	return float64(best) / float64(minInt(la, lb))
+	var sc Scratch
+	return SmithWatermanInto(a, b, &sc)
 }
 
 // CosineQGram returns the cosine similarity of the q-gram frequency vectors

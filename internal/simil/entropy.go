@@ -1,11 +1,20 @@
 package simil
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Entropy returns the Shannon entropy (in bits) of the value distribution of
 // the given column. An empty or single-valued column has entropy 0. The paper
 // weights attributes by their entropy as a context-free uniqueness proxy
 // (§6.3, §6.5).
+//
+// The per-value terms are accumulated in sorted value order, not map
+// iteration order: float addition is not associative, and summing in the
+// map's (run-varying) order made two processes disagree in the last ulp of
+// every entropy-weighted score downstream. With a fixed order the result is
+// a pure function of the column.
 func Entropy(column []string) float64 {
 	if len(column) == 0 {
 		return 0
@@ -14,10 +23,15 @@ func Entropy(column []string) float64 {
 	for _, v := range column {
 		counts[v]++
 	}
+	values := make([]string, 0, len(counts))
+	for v := range counts {
+		values = append(values, v)
+	}
+	sort.Strings(values)
 	n := float64(len(column))
 	h := 0.0
-	for _, c := range counts {
-		p := float64(c) / n
+	for _, v := range values {
+		p := float64(counts[v]) / n
 		h -= p * math.Log2(p)
 	}
 	if h < 0 {

@@ -26,3 +26,25 @@ func ExtendedDamerauLevenshtein(a, b string) float64 {
 	}
 	return DamerauLevenshteinSimilarity(a, b)
 }
+
+// ExtendedDamerauLevenshteinInto is ExtendedDamerauLevenshtein evaluated
+// through caller-owned scratch buffers. The normalization (trim, upper-case,
+// punctuation strip, prefix forgiveness) is identical; only the final DP
+// falls through to DamerauLevenshteinSimilarityInto, so results match the
+// allocating variant bit for bit.
+func ExtendedDamerauLevenshteinInto(a, b string, sc *Scratch) float64 {
+	a = strings.ToUpper(strings.TrimSpace(a))
+	b = strings.ToUpper(strings.TrimSpace(b))
+	if a == "" || b == "" {
+		return 1
+	}
+	a = strings.TrimRight(a, ".")
+	b = strings.TrimRight(b, ".")
+	if a == "" || b == "" {
+		return 1
+	}
+	if strings.HasPrefix(a, b) || strings.HasPrefix(b, a) {
+		return 1
+	}
+	return DamerauLevenshteinSimilarityInto(a, b, sc)
+}

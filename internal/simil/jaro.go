@@ -2,57 +2,11 @@ package simil
 
 // Jaro returns the Jaro similarity of a and b in [0, 1]. It counts matching
 // runes within the usual half-window and penalizes transpositions among the
-// matches. Two empty strings score 1; one empty string scores 0.
+// matches. Two empty strings score 1; one empty string scores 0. Thin
+// wrapper over JaroInto with a fresh Scratch.
 func Jaro(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	la, lb := len(ra), len(rb)
-	if la == 0 && lb == 0 {
-		return 1
-	}
-	if la == 0 || lb == 0 {
-		return 0
-	}
-	window := maxInt(la, lb)/2 - 1
-	if window < 0 {
-		window = 0
-	}
-	matchedA := make([]bool, la)
-	matchedB := make([]bool, lb)
-	matches := 0
-	for i := 0; i < la; i++ {
-		lo := maxInt(0, i-window)
-		hi := minInt(lb-1, i+window)
-		for j := lo; j <= hi; j++ {
-			if matchedB[j] || ra[i] != rb[j] {
-				continue
-			}
-			matchedA[i] = true
-			matchedB[j] = true
-			matches++
-			break
-		}
-	}
-	if matches == 0 {
-		return 0
-	}
-	// Count transpositions: matched runes that appear in a different order.
-	transpositions := 0
-	j := 0
-	for i := 0; i < la; i++ {
-		if !matchedA[i] {
-			continue
-		}
-		for !matchedB[j] {
-			j++
-		}
-		if ra[i] != rb[j] {
-			transpositions++
-		}
-		j++
-	}
-	m := float64(matches)
-	t := float64(transpositions) / 2
-	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+	var sc Scratch
+	return JaroInto(a, b, &sc)
 }
 
 // winklerPrefixScale is the standard Winkler prefix bonus factor.
@@ -63,13 +17,10 @@ const winklerPrefixScale = 0.1
 const winklerMaxPrefix = 4
 
 // JaroWinkler returns the Jaro-Winkler similarity of a and b in [0, 1]: Jaro
-// boosted by a bonus for a shared prefix of up to four runes.
+// boosted by a bonus for a shared prefix of up to four runes. It is one of
+// the three record measures of the usability experiment (§6.5); thin
+// wrapper over JaroWinklerInto.
 func JaroWinkler(a, b string) float64 {
-	j := Jaro(a, b)
-	ra, rb := []rune(a), []rune(b)
-	prefix := 0
-	for prefix < winklerMaxPrefix && prefix < len(ra) && prefix < len(rb) && ra[prefix] == rb[prefix] {
-		prefix++
-	}
-	return j + float64(prefix)*winklerPrefixScale*(1-j)
+	var sc Scratch
+	return JaroWinklerInto(a, b, &sc)
 }

@@ -2,32 +2,11 @@ package simil
 
 // Levenshtein returns the classic edit distance between a and b: the minimal
 // number of single-rune insertions, deletions and substitutions that turn a
-// into b.
+// into b. It is a thin wrapper over LevenshteinInto with a fresh Scratch;
+// hot loops should hold a per-worker Scratch and call the Into variant.
 func Levenshtein(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 {
-		return len(rb)
-	}
-	if len(rb) == 0 {
-		return len(ra)
-	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(ra); i++ {
-		cur[0] = i
-		for j := 1; j <= len(rb); j++ {
-			cost := 1
-			if ra[i-1] == rb[j-1] {
-				cost = 0
-			}
-			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(rb)]
+	var sc Scratch
+	return LevenshteinInto(a, b, &sc)
 }
 
 // LevenshteinSimilarity normalizes Levenshtein to [0, 1]:
@@ -44,48 +23,18 @@ func LevenshteinSimilarity(a, b string) float64 {
 // Damerau-Levenshtein distance: insertions, deletions, substitutions and
 // transpositions of two adjacent runes each cost 1, and no substring is
 // edited more than once. This is the distance the paper uses to flag typos
-// (distance exactly 1, §6.4).
+// (distance exactly 1, §6.4). Thin wrapper over DamerauLevenshteinInto.
 func DamerauLevenshtein(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 {
-		return len(rb)
-	}
-	if len(rb) == 0 {
-		return len(ra)
-	}
-	// Three rolling rows: i-2, i-1, i.
-	prev2 := make([]int, len(rb)+1)
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(ra); i++ {
-		cur[0] = i
-		for j := 1; j <= len(rb); j++ {
-			cost := 1
-			if ra[i-1] == rb[j-1] {
-				cost = 0
-			}
-			d := min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
-			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
-				if t := prev2[j-2] + 1; t < d {
-					d = t
-				}
-			}
-			cur[j] = d
-		}
-		prev2, prev, cur = prev, cur, prev2
-	}
-	return prev[len(rb)]
+	var sc Scratch
+	return DamerauLevenshteinInto(a, b, &sc)
 }
 
 // DamerauLevenshteinSimilarity normalizes DamerauLevenshtein to [0, 1]:
-// 1 - dist/max(len(a), len(b)). Two empty strings are identical (1).
+// 1 - dist/max(len(a), len(b)). Two empty strings are identical (1). It is
+// the internal token measure of the heterogeneity scoring (§6.3) and the
+// ME/Lev matcher (§6.5); thin wrapper over
+// DamerauLevenshteinSimilarityInto.
 func DamerauLevenshteinSimilarity(a, b string) float64 {
-	m := maxInt(len([]rune(a)), len([]rune(b)))
-	if m == 0 {
-		return 1
-	}
-	return 1 - float64(DamerauLevenshtein(a, b))/float64(m)
+	var sc Scratch
+	return DamerauLevenshteinSimilarityInto(a, b, &sc)
 }

@@ -1,0 +1,221 @@
+package simil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomValue draws a plausible register value: letters, digits, spaces,
+// punctuation, mixed case, occasionally empty or unicode.
+func randomValue(rng *rand.Rand) string {
+	alphabet := []rune("ABCDEFGHIJKLMNOPQRSTUVWXYZ abcdefghijklmnop0123456789.-'Ü é")
+	n := rng.Intn(14)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(out)
+}
+
+// TestIntoVariantsMatchAllocatingKernels fuzzes every *Into kernel against
+// its allocating counterpart on shared scratch state: the engine's
+// bit-identity contract starts here.
+func TestIntoVariantsMatchAllocatingKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sc Scratch // shared and reused across all iterations on purpose
+	for i := 0; i < 500; i++ {
+		a, b := randomValue(rng), randomValue(rng)
+		if d, dInto := Levenshtein(a, b), LevenshteinInto(a, b, &sc); d != dInto {
+			t.Fatalf("LevenshteinInto(%q, %q) = %d, want %d", a, b, dInto, d)
+		}
+		if d, dInto := DamerauLevenshtein(a, b), DamerauLevenshteinInto(a, b, &sc); d != dInto {
+			t.Fatalf("DamerauLevenshteinInto(%q, %q) = %d, want %d", a, b, dInto, d)
+		}
+		checks := []struct {
+			name       string
+			have, want float64
+		}{
+			{"DamerauLevenshteinSimilarity", DamerauLevenshteinSimilarityInto(a, b, &sc), DamerauLevenshteinSimilarity(a, b)},
+			{"Jaro", JaroInto(a, b, &sc), Jaro(a, b)},
+			{"JaroWinkler", JaroWinklerInto(a, b, &sc), JaroWinkler(a, b)},
+			{"NeedlemanWunsch", NeedlemanWunschInto(a, b, &sc), NeedlemanWunsch(a, b)},
+			{"SmithWaterman", SmithWatermanInto(a, b, &sc), SmithWaterman(a, b)},
+			{"MongeElkanDL", MongeElkanDLInto(a, b, &sc), MongeElkanDL(a, b)},
+		}
+		for _, c := range checks {
+			if math.Float64bits(c.have) != math.Float64bits(c.want) {
+				t.Fatalf("%sInto(%q, %q) = %v, want bit-identical %v", c.name, a, b, c.have, c.want)
+			}
+		}
+	}
+}
+
+func TestTokenizeIntoMatchesTokenize(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var buf []string
+	for i := 0; i < 200; i++ {
+		s := randomValue(rng)
+		want := Tokenize(s)
+		buf = TokenizeInto(s, buf)
+		if len(buf) != len(want) {
+			t.Fatalf("TokenizeInto(%q) = %v, want %v", s, buf, want)
+		}
+		for j := range want {
+			if buf[j] != want[j] {
+				t.Fatalf("TokenizeInto(%q) = %v, want %v", s, buf, want)
+			}
+		}
+	}
+}
+
+// TestGramProfileKernelsMatchMapMeasures checks that the merge kernels count
+// exactly what the map-based q-gram measures count.
+func TestGramProfileKernelsMatchMapMeasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	intern := map[string]uint32{}
+	for i := 0; i < 300; i++ {
+		a, b := randomValue(rng), randomValue(rng)
+		pa := NewGramProfile(QGrams(a, 3), intern)
+		pb := NewGramProfile(QGrams(b, 3), intern)
+
+		inter := SortedIntersectCount(pa.IDs, pb.IDs)
+		var jac float64
+		switch {
+		case len(pa.IDs) == 0 && len(pb.IDs) == 0:
+			jac = 1
+		default:
+			union := len(pa.IDs) + len(pb.IDs) - inter
+			if union == 0 {
+				jac = 1
+			} else {
+				jac = float64(inter) / float64(union)
+			}
+		}
+		if want := TrigramJaccard(a, b); math.Float64bits(jac) != math.Float64bits(want) {
+			t.Fatalf("profile Jaccard(%q, %q) = %v, want %v", a, b, jac, want)
+		}
+
+		var cos float64
+		switch {
+		case len(pa.IDs) == 0 && len(pb.IDs) == 0:
+			cos = 1
+		case len(pa.IDs) == 0 || len(pb.IDs) == 0:
+			cos = 0
+		default:
+			cos = float64(SortedDot(pa, pb)) /
+				(math.Sqrt(float64(pa.NormSq)) * math.Sqrt(float64(pb.NormSq)))
+		}
+		if want := CosineQGram(a, b, 3); math.Float64bits(cos) != math.Float64bits(want) {
+			t.Fatalf("profile Cosine(%q, %q) = %v, want %v", a, b, cos, want)
+		}
+
+		var ovl float64
+		switch {
+		case len(pa.IDs) == 0 && len(pb.IDs) == 0:
+			ovl = 1
+		case len(pa.IDs) == 0 || len(pb.IDs) == 0:
+			ovl = 0
+		default:
+			ovl = float64(inter) / float64(minInt(len(pa.IDs), len(pb.IDs)))
+		}
+		if want := OverlapQGram(a, b, 3); math.Float64bits(ovl) != math.Float64bits(want) {
+			t.Fatalf("profile Overlap(%q, %q) = %v, want %v", a, b, ovl, want)
+		}
+	}
+}
+
+// TestEntropyDeterministic recomputes the entropy weights of a
+// many-distinct-value column from fresh maps and requires exact bit
+// equality — the ROADMAP's cross-process last-ulp fix.
+func TestEntropyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	column := make([]string, 500)
+	for i := range column {
+		column[i] = randomValue(rng)
+	}
+	columns := [][]string{column, column[:250], column[250:]}
+	base := EntropyWeights(columns)
+	for run := 0; run < 30; run++ {
+		// Rebuild the inputs so every run constructs fresh maps internally.
+		again := EntropyWeights([][]string{
+			append([]string(nil), column...),
+			append([]string(nil), column[:250]...),
+			append([]string(nil), column[250:]...),
+		})
+		for i := range base {
+			if math.Float64bits(base[i]) != math.Float64bits(again[i]) {
+				t.Fatalf("run %d: weight %d = %x, want %x", run, i,
+					math.Float64bits(again[i]), math.Float64bits(base[i]))
+			}
+		}
+	}
+}
+
+// TestSoftCosineDeterministic requires SoftTFIDF to be a pure function of
+// its inputs across repeated evaluations (sorted iteration, deterministic
+// tie-breaks).
+func TestSoftCosineDeterministic(t *testing.T) {
+	docs := [][]string{
+		{"JOHN", "SMITH"}, {"JON", "SMYTH"}, {"MARY", "NGUYEN"},
+		{"MARY", "NGUYEM"}, {"A", "B", "C"}, {"C", "B", "A"},
+	}
+	tf := NewTFIDF(docs)
+	a := []string{"JOHN", "NGUYEN", "B"}
+	b := []string{"JON", "NGUYEM", "C", "B"}
+	base := tf.SoftCosine(a, b, DamerauLevenshteinSimilarity, 0.5)
+	for i := 0; i < 50; i++ {
+		tf2 := NewTFIDF(docs)
+		got := tf2.SoftCosine(a, b, DamerauLevenshteinSimilarity, 0.5)
+		if math.Float64bits(got) != math.Float64bits(base) {
+			t.Fatalf("run %d: SoftCosine = %x, want %x", i, math.Float64bits(got), math.Float64bits(base))
+		}
+	}
+}
+
+// TestHybridIntoVariantsMatch fuzzes the extended-DL and Generalized
+// Jaccard scratch variants against their allocating counterparts for exact
+// bit equality.
+func TestHybridIntoVariantsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sc Scratch
+	for iter := 0; iter < 500; iter++ {
+		a, b := randomValue(rng), randomValue(rng)
+		want := ExtendedDamerauLevenshtein(a, b)
+		got := ExtendedDamerauLevenshteinInto(a, b, &sc)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("ExtendedDamerauLevenshteinInto(%q, %q) = %v, want %v", a, b, got, want)
+		}
+
+		ta := make([]string, rng.Intn(4))
+		tb := make([]string, rng.Intn(4))
+		for i := range ta {
+			ta[i] = randomValue(rng)
+		}
+		for i := range tb {
+			tb[i] = randomValue(rng)
+		}
+		wantGJ := GeneralizedJaccard(ta, tb, ExtendedDamerauLevenshtein, 0.5)
+		gotGJ := GeneralizedJaccardInto(ta, tb, func(x, y string) float64 {
+			return ExtendedDamerauLevenshteinInto(x, y, &sc)
+		}, 0.5, &sc)
+		if math.Float64bits(wantGJ) != math.Float64bits(gotGJ) {
+			t.Fatalf("GeneralizedJaccardInto(%q, %q) = %v, want %v", ta, tb, gotGJ, wantGJ)
+		}
+	}
+}
+
+func BenchmarkDamerauLevenshteinInto(b *testing.B) {
+	var sc Scratch
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DamerauLevenshteinSimilarityInto("CHRISTOPHER", "KRISTOFFER", &sc)
+	}
+}
+
+func BenchmarkDamerauLevenshteinAlloc(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DamerauLevenshteinSimilarity("CHRISTOPHER", "KRISTOFFER")
+	}
+}

@@ -23,24 +23,12 @@ type TokenMeasure func(a, b string) float64
 // whitespace separate tokens and are discarded. The zero-value result for an
 // empty or all-punctuation string is an empty (non-nil) slice.
 func Tokenize(s string) []string {
-	tokens := make([]string, 0, 4)
-	start := -1
-	for i, r := range s {
-		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			if start < 0 {
-				start = i
-			}
-			continue
-		}
-		if start >= 0 {
-			tokens = append(tokens, s[start:i])
-			start = -1
-		}
-	}
-	if start >= 0 {
-		tokens = append(tokens, s[start:])
-	}
-	return tokens
+	return TokenizeInto(s, make([]string, 0, 4))
+}
+
+// isTokenRune reports whether r belongs inside a token.
+func isTokenRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
 }
 
 // QGrams returns the q-gram multiset of s as a slice, padding-free. For

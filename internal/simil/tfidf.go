@@ -1,6 +1,9 @@
 package simil
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // TFIDF holds corpus statistics for token-frequency-weighted comparison:
 // rare tokens (high inverse document frequency) matter more than ubiquitous
@@ -42,26 +45,36 @@ func (t *TFIDF) IDF(token string) float64 {
 	return math.Log(1 + float64(t.docs)/float64(df))
 }
 
-// weights renders a document as a normalized tf-idf vector.
-func (t *TFIDF) weights(doc []string) map[string]float64 {
-	tf := map[string]float64{}
+// weights renders a document as a normalized tf-idf vector: the distinct
+// tokens in sorted order with one weight each. All accumulation (the norm
+// here, the dot products below) runs in that sorted order so the measure is
+// a pure function of its inputs — map-order summation made repeated calls
+// disagree in the last ulp, which the parallel scoring engine's
+// bit-identity contract cannot tolerate.
+func (t *TFIDF) weights(doc []string) (order []string, w map[string]float64) {
+	w = map[string]float64{}
 	for _, tok := range doc {
-		tf[tok]++
+		w[tok]++
 	}
+	order = make([]string, 0, len(w))
+	for tok := range w {
+		order = append(order, tok)
+	}
+	sort.Strings(order)
 	norm := 0.0
-	for tok, f := range tf {
-		w := f * t.IDF(tok)
-		tf[tok] = w
-		norm += w * w
+	for _, tok := range order {
+		x := w[tok] * t.IDF(tok)
+		w[tok] = x
+		norm += x * x
 	}
 	if norm == 0 {
-		return tf
+		return order, w
 	}
 	norm = math.Sqrt(norm)
-	for tok := range tf {
-		tf[tok] /= norm
+	for _, tok := range order {
+		w[tok] /= norm
 	}
-	return tf
+	return order, w
 }
 
 // Cosine returns the TF-IDF cosine similarity of two token documents in
@@ -73,11 +86,11 @@ func (t *TFIDF) Cosine(a, b []string) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	wa := t.weights(a)
-	wb := t.weights(b)
+	orderA, wa := t.weights(a)
+	_, wb := t.weights(b)
 	dot := 0.0
-	for tok, x := range wa {
-		dot += x * wb[tok]
+	for _, tok := range orderA {
+		dot += wa[tok] * wb[tok]
 	}
 	if dot > 1 {
 		dot = 1 // guard rounding
@@ -89,7 +102,9 @@ func (t *TFIDF) Cosine(a, b []string) float64 {
 // token of a matches the most similar token of b under tok if their
 // similarity reaches threshold, and the match contributes the product of
 // both tf-idf weights scaled by that similarity. It forgives typos inside
-// rare, heavy tokens, which the strict cosine punishes hardest.
+// rare, heavy tokens, which the strict cosine punishes hardest. Ties for
+// the best match go to the lexicographically smallest token of b
+// (iteration is sorted, see weights).
 func (t *TFIDF) SoftCosine(a, b []string, tok TokenMeasure, threshold float64) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
@@ -97,19 +112,19 @@ func (t *TFIDF) SoftCosine(a, b []string, tok TokenMeasure, threshold float64) f
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	wa := t.weights(a)
-	wb := t.weights(b)
+	orderA, wa := t.weights(a)
+	orderB, wb := t.weights(b)
 	dot := 0.0
-	for ta, x := range wa {
+	for _, ta := range orderA {
 		bestSim, bestTok := 0.0, ""
-		for tb := range wb {
+		for _, tb := range orderB {
 			s := tok(ta, tb)
 			if s >= threshold && s > bestSim {
 				bestSim, bestTok = s, tb
 			}
 		}
 		if bestTok != "" {
-			dot += x * wb[bestTok] * bestSim
+			dot += wa[ta] * wb[bestTok] * bestSim
 		}
 	}
 	if dot > 1 {

@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race test-short serve-race ingest-race score-race bench-matching docs
+.PHONY: ci fmt vet build test race test-short serve-race ingest-race score-race docstore-race bench-matching bench-docstore docs
 
-ci: fmt vet build race docs score-race
+ci: fmt vet build race docs score-race docstore-race bench-docstore
 
 # Fail when any tracked Go file is not gofmt-clean.
 fmt:
@@ -47,10 +47,23 @@ score-race:
 	$(GO) test -race -run 'TestParallelScore|TestEntropyDeterministic|TestSoftCosineDeterministic|TestIntoVariantsMatch|TestHybridIntoVariantsMatch|TestEvaluateAllParallel' \
 		./internal/dedup ./internal/simil ./internal/hetero ./internal/plaus ./internal/core
 
+# The segmented-persistence equivalence suite under the race detector — the
+# identical-for-any-worker-count guarantee of the parallel docstore save/load
+# path and the streaming pipeline (docs/ARCHITECTURE.md "Document store").
+# The worker ladder {1, 2, 7, GOMAXPROCS} lives in the tests themselves.
+docstore-race:
+	$(GO) test -race -run 'TestSaveLoadParallel|TestSaveParallel|TestLoadParallel|TestLoadRejects|TestLoadSkips|TestSegmented|TestPipeline|TestForEachParallel|TestFromDocDBParallel' \
+		./internal/docstore ./internal/core
+
 # Matching-throughput ladder (pairs/sec per measure, legacy vs engine) —
 # the numbers behind the EXPERIMENTS.md matching section.
 bench-matching:
 	$(GO) run ./cmd/ncbench -scale small -exp matching
+
+# Segmented save/load ladder plus the pipeline pushdown comparison — the
+# numbers behind the EXPERIMENTS.md docstore section (BENCH_docstore.json).
+bench-docstore:
+	$(GO) run ./cmd/ncbench -scale small -exp docstore
 
 # Fail when the README links to a docs/ file that does not exist.
 docs:

@@ -7,6 +7,12 @@
 //
 //	ncdedup -in nc2.tsv -passes 5 -window 20
 //	ncdedup -in nc2.tsv -workers 8   # parallel scoring engine, identical output
+//	ncdedup -db store/ -store-workers 8   # evaluate a document store directly
+//
+// With -db the labeled dataset is derived from a stored corpus instead of a
+// TSV export: the store loads through the parallel segmented reader, the
+// clusters parse on -store-workers cores, and every record is kept (the
+// full heterogeneity range), so the evaluation covers the store as-is.
 package main
 
 import (
@@ -14,28 +20,49 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/core"
+	"repro/internal/custom"
 	"repro/internal/dedup"
+	"repro/internal/docstore"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ncdedup: ")
 	var (
-		in      = flag.String("in", "", "labeled dataset file (from nccustom)")
-		passes  = flag.Int("passes", 5, "SNM passes over the most unique attributes")
-		window  = flag.Int("window", 20, "SNM window size")
-		steps   = flag.Int("steps", 100, "threshold sweep steps")
-		curves  = flag.Bool("curves", false, "print the full F1 curve per measure")
-		workers = flag.Int("workers", 1, "scoring workers; >1 uses the parallel engine (identical results)")
+		in           = flag.String("in", "", "labeled dataset file (from nccustom)")
+		db           = flag.String("db", "", "document-database directory to evaluate instead of -in")
+		passes       = flag.Int("passes", 5, "SNM passes over the most unique attributes")
+		window       = flag.Int("window", 20, "SNM window size")
+		steps        = flag.Int("steps", 100, "threshold sweep steps")
+		curves       = flag.Bool("curves", false, "print the full F1 curve per measure")
+		workers      = flag.Int("workers", 1, "scoring workers; >1 uses the parallel engine (identical results)")
+		storeWorkers = flag.Int("store-workers", 0, "document-store load workers for -db (0 = all cores)")
 	)
 	flag.Parse()
-	if *in == "" {
-		log.Fatal("missing -in dataset file")
+	if (*in == "") == (*db == "") {
+		log.Fatal("need exactly one of -in (dataset file) or -db (document store)")
 	}
 
-	ds, err := dedup.ReadFile(*in)
-	if err != nil {
-		log.Fatal(err)
+	var ds *dedup.Dataset
+	if *db != "" {
+		stored, err := docstore.LoadParallelOpts(*db, docstore.LoadOpts{Workers: *storeWorkers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cds, err := core.FromDocDBParallel(stored, *storeWorkers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The full heterogeneity range keeps every record: the evaluation
+		// runs against the store as-is rather than a customization of it.
+		ds = custom.Build(cds, custom.Config{Name: *db, HLow: 0, HHigh: 1})
+	} else {
+		var err error
+		ds, err = dedup.ReadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("%s: %d records, %d clusters, %d true duplicate pairs\n",
 		ds.Name, ds.NumRecords(), ds.NumClusters(), ds.NumTruePairs())

@@ -13,8 +13,10 @@
 // snapshots are appended as a new version (the paper's update process,
 // Fig. 2). With -workers != 1 each snapshot file runs through the sharded
 // parallel ingest pipeline; the result is identical to the sequential
-// import. -metrics-addr serves GET /metrics (JSON and Prometheus) with the
-// ingest pipeline counters while the import runs.
+// import. -store-workers sizes the document store's segmented save/load
+// pool the same way (the store bytes and contents are identical at any
+// count). -metrics-addr serves GET /metrics (JSON and Prometheus) with the
+// ingest and docstore counters while the import runs.
 package main
 
 import (
@@ -51,12 +53,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ncimport: ")
 	var (
-		in          = flag.String("in", "snapshots", "directory with VR_Snapshot_*.tsv files")
-		modeS       = flag.String("mode", "trimming", "duplicate-removal mode: none|exact|trimming|person")
-		db          = flag.String("db", "store", "document-database directory (created or continued)")
-		scores      = flag.Bool("scores", false, "compute plausibility and heterogeneity maps")
-		workers     = flag.Int("workers", 0, "ingest workers per snapshot file (0 = all cores, 1 = sequential)")
-		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics with ingest counters on this address during the import (e.g. :9090)")
+		in           = flag.String("in", "snapshots", "directory with VR_Snapshot_*.tsv files")
+		modeS        = flag.String("mode", "trimming", "duplicate-removal mode: none|exact|trimming|person")
+		db           = flag.String("db", "store", "document-database directory (created or continued)")
+		scores       = flag.Bool("scores", false, "compute plausibility and heterogeneity maps")
+		workers      = flag.Int("workers", 0, "ingest workers per snapshot file (0 = all cores, 1 = sequential)")
+		storeWorkers = flag.Int("store-workers", 0, "document-store save/load workers (0 = all cores); results are identical at any count")
+		metricsAddr  = flag.String("metrics-addr", "", "serve GET /metrics with ingest counters on this address during the import (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -64,14 +67,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	metrics := obs.NewMetrics()
 
 	var ds *core.Dataset
 	if _, err := os.Stat(*db); err == nil {
-		existing, err := docstore.Load(*db)
+		existing, err := docstore.LoadParallelOpts(*db, docstore.LoadOpts{Workers: *storeWorkers, Observer: metrics})
 		if err != nil {
 			log.Fatalf("loading %s: %v", *db, err)
 		}
-		if ds, err = core.FromDocDB(existing); err != nil {
+		if ds, err = core.FromDocDBParallel(existing, *storeWorkers); err != nil {
 			// A fresh directory without dataset metadata: start clean.
 			ds = core.NewDataset(mode)
 		} else {
@@ -92,7 +96,6 @@ func main() {
 	if len(files) == 0 {
 		log.Fatalf("no VR_Snapshot_*.tsv files in %s", *in)
 	}
-	metrics := obs.NewMetrics()
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", metrics.Handler())
@@ -115,7 +118,6 @@ func main() {
 		fmt.Printf("imported %s: %d rows, %d new records, %d new objects\n",
 			st.Snapshot, st.Rows, st.NewRecords, st.NewObjects)
 	}
-	printIngestCounters(metrics)
 	if *scores {
 		fmt.Println("computing plausibility scores ...")
 		plaus.Update(ds)
@@ -123,15 +125,19 @@ func main() {
 		hetero.Update(ds)
 	}
 	version := ds.Publish()
-	if err := ds.ToDocDB().Save(*db); err != nil {
+	// Segmented parallel save: segment files plus a manifest. The bytes do
+	// not depend on the worker count, and older flat stores load unchanged.
+	if err := ds.ToDocDB().SaveParallelOpts(*db, docstore.SaveOpts{Workers: *storeWorkers, Observer: metrics}); err != nil {
 		log.Fatal(err)
 	}
+	printIngestCounters(metrics)
 	fmt.Printf("published version %d: %d clusters, %d records, %d duplicate pairs -> %s\n",
 		version, ds.NumClusters(), ds.NumRecords(), ds.NumPairs(), *db)
 }
 
-// printIngestCounters summarizes the pipeline counters after the import.
-// The sequential path (workers = 1 or a single core) emits none.
+// printIngestCounters summarizes the ingest and docstore counters after the
+// import. The sequential ingest path (workers = 1 on a single core) emits
+// no ingest counters.
 func printIngestCounters(m *obs.Metrics) {
 	counters := m.Snapshot().Counters
 	names := make([]string, 0, len(counters))
@@ -142,7 +148,7 @@ func printIngestCounters(m *obs.Metrics) {
 		return
 	}
 	sort.Strings(names)
-	fmt.Println("ingest pipeline counters:")
+	fmt.Println("pipeline counters:")
 	for _, name := range names {
 		fmt.Printf("  %-28s %d\n", name, counters[name])
 	}

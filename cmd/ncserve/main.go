@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	ncserve -db store/ -addr :8080 [-timeout 10s] [-max-inflight 256] [-grace 10s]
+//	ncserve -db store/ -addr :8080 [-timeout 10s] [-max-inflight 256] [-grace 10s] [-store-workers 0]
 //
 // Endpoints (unversioned paths 301 to their /v1 twin):
 //
@@ -15,6 +15,9 @@
 //	GET /v1/histogram             cluster-size histogram (Fig. 1)
 //	GET /v1/versions              published versions
 //	GET /v1/clusters/{ncid}       one cluster document
+//	GET /v1/clusters/summary      whole-store aggregation (parallel scan;
+//	                              ?minSize=&maxSize= filters via the
+//	                              pipeline's index pushdown)
 //	GET /v1/clusters?score=heterogeneity&min=0.4&limit=20&cursor=...
 //	                              score-range queries over cluster
 //	                              summaries, cursor-paginated
@@ -46,25 +49,27 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ncserve: ")
 	var (
-		db       = flag.String("db", "store", "document-database directory")
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-		timeout  = flag.Duration("timeout", 10*time.Second, "per-request deadline (0 disables)")
-		inflight = flag.Int("max-inflight", 256, "max concurrently served requests (0 disables shedding)")
-		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain deadline")
+		db           = flag.String("db", "store", "document-database directory")
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		timeout      = flag.Duration("timeout", 10*time.Second, "per-request deadline (0 disables)")
+		inflight     = flag.Int("max-inflight", 256, "max concurrently served requests (0 disables shedding)")
+		grace        = flag.Duration("grace", 10*time.Second, "shutdown drain deadline")
+		storeWorkers = flag.Int("store-workers", 0, "document-store load and scan workers (0 = all cores); results are identical at any count")
 	)
 	flag.Parse()
 
-	stored, err := docstore.Load(*db)
+	stored, err := docstore.LoadParallelOpts(*db, docstore.LoadOpts{Workers: *storeWorkers})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds, err := core.FromDocDB(stored)
+	ds, err := core.FromDocDBParallel(stored, *storeWorkers)
 	if err != nil {
 		log.Fatal(err)
 	}
 	api := httpapi.New(ds,
 		httpapi.WithTimeout(*timeout),
 		httpapi.WithMaxInflight(*inflight),
+		httpapi.WithStoreWorkers(*storeWorkers),
 	)
 
 	srv := &http.Server{

@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/docstore"
+)
+
+// DocstorePoint is one measurement of the docstore persistence experiment:
+// a segmented save or load at one worker count, against the flat sequential
+// format as baseline.
+type DocstorePoint struct {
+	Op      string  `json:"op"` // "save" or "load"
+	Workers int     `json:"workers"`
+	Docs    int     `json:"docs"`
+	Bytes   int64   `json:"bytes"`
+	Seconds float64 `json:"seconds"`
+	// Speedup is against the flat sequential save/load of the same corpus —
+	// at workers=1 it isolates the segmented-format cost or win.
+	Speedup float64 `json:"speedup"`
+	// Identical records the equivalence check: every loaded store must
+	// deep-equal the flat sequential reference, collection by collection.
+	Identical bool `json:"identical"`
+}
+
+// DocstorePushdown measures the streaming query pipeline: the same size
+// filter once as a full collection scan and once pushed down to the ordered
+// index.
+type DocstorePushdown struct {
+	Filter           string  `json:"filter"`
+	Matches          int     `json:"matches"`
+	ScanSeconds      float64 `json:"scanSeconds"`
+	ScanScanned      int64   `json:"scanScanned"`
+	PushdownSeconds  float64 `json:"pushdownSeconds"`
+	PushdownScanned  int64   `json:"pushdownScanned"`
+	Speedup          float64 `json:"speedup"`
+	ScannedReduction float64 `json:"scannedReduction"`
+	Identical        bool    `json:"identical"`
+}
+
+// DocstoreResult is the full experiment: flat baselines, the segmented
+// worker ladder and the pipeline pushdown comparison.
+type DocstoreResult struct {
+	Dataset         string            `json:"dataset"`
+	GOMAXPROCS      int               `json:"gomaxprocs"`
+	Docs            int               `json:"docs"`
+	FlatBytes       int64             `json:"flatBytes"`
+	FlatSaveSeconds float64           `json:"flatSaveSeconds"`
+	FlatLoadSeconds float64           `json:"flatLoadSeconds"`
+	Points          []DocstorePoint   `json:"points"`
+	Pushdown        *DocstorePushdown `json:"pushdown,omitempty"`
+}
+
+// DefaultDocstoreWorkers is the worker ladder of the experiment (GOMAXPROCS
+// appended when absent).
+func DefaultDocstoreWorkers() []int { return DefaultIngestWorkers() }
+
+// persistReps averages every save/load measurement over several repetitions;
+// a single filesystem round trip at benchmark scale is only tens of
+// milliseconds and would otherwise be noise-dominated.
+const persistReps = 5
+
+// dbDocs snapshots every collection of a store, keyed by collection name,
+// for the equivalence check. Document order within a collection is part of
+// the comparison: the loaders must preserve insertion order.
+func dbDocs(db *docstore.DB) map[string][]docstore.Document {
+	out := map[string][]docstore.Document{}
+	for _, name := range db.CollectionNames() {
+		out[name] = db.Collection(name).Find(nil)
+	}
+	return out
+}
+
+// dirBytes sums the sizes of the regular files directly under dir.
+func dirBytes(dir string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil && info.Mode().IsRegular() {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// RunDocstoreBench benchmarks the segmented persistence layer and the
+// streaming query pipeline on the scored trimmed-mode corpus. The flat
+// sequential Save/Load sets the baseline, then the segmented writer and
+// reader run the worker ladder; every loaded store is checked for exact
+// equality with the flat reference — a throughput number from a diverging
+// store would be meaningless. jsonPath, when non-empty, receives the result
+// as machine-readable JSON so the perf trajectory is tracked across commits.
+func RunDocstoreBench(w *Workspace, workerCounts []int, jsonPath string, out io.Writer) (DocstoreResult, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = DefaultDocstoreWorkers()
+	}
+	ds := w.ScoredDataset()
+	db := ds.ToDocDB()
+	var docs int
+	for _, name := range db.CollectionNames() {
+		docs += db.Collection(name).Len()
+	}
+	res := DocstoreResult{
+		Dataset:    fmt.Sprintf("nc-trimmed-%dv-%dy", w.Scale.InitialVoters, w.Scale.Years),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Docs:       docs,
+	}
+
+	root, err := os.MkdirTemp("", "ncbench-docstore-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(root)
+
+	// Flat sequential baseline, averaged like the ladder below.
+	flatDir := filepath.Join(root, "flat")
+	var flat *docstore.DB
+	start := time.Now()
+	for i := 0; i < persistReps; i++ {
+		if err := db.Save(flatDir); err != nil {
+			return res, err
+		}
+	}
+	res.FlatSaveSeconds = time.Since(start).Seconds() / persistReps
+	res.FlatBytes = dirBytes(flatDir)
+	start = time.Now()
+	for i := 0; i < persistReps; i++ {
+		if flat, err = docstore.Load(flatDir); err != nil {
+			return res, err
+		}
+	}
+	res.FlatLoadSeconds = time.Since(start).Seconds() / persistReps
+	ref := dbDocs(flat)
+
+	fmt.Fprintf(out, "Docstore persistence: %s, %d documents, %d flat bytes (GOMAXPROCS %d)\n",
+		res.Dataset, res.Docs, res.FlatBytes, res.GOMAXPROCS)
+	fmt.Fprintf(out, "%-6s %8s %9s %12s %8s %10s\n",
+		"op", "workers", "seconds", "docs/s", "speedup", "identical")
+	fmt.Fprintf(out, "%-6s %8s %9.3f %12.0f %8s %10s\n",
+		"save", "flat", res.FlatSaveSeconds, float64(docs)/res.FlatSaveSeconds, "1.00x", "-")
+	fmt.Fprintf(out, "%-6s %8s %9.3f %12.0f %8s %10s\n",
+		"load", "flat", res.FlatLoadSeconds, float64(docs)/res.FlatLoadSeconds, "1.00x", "-")
+
+	for _, workers := range workerCounts {
+		dir := filepath.Join(root, fmt.Sprintf("seg-%d", workers))
+		var loaded *docstore.DB
+		start := time.Now()
+		for i := 0; i < persistReps; i++ {
+			if err := db.SaveParallelOpts(dir, docstore.SaveOpts{Workers: workers}); err != nil {
+				return res, err
+			}
+		}
+		saveSecs := time.Since(start).Seconds() / persistReps
+		start = time.Now()
+		for i := 0; i < persistReps; i++ {
+			if loaded, err = docstore.LoadParallelOpts(dir, docstore.LoadOpts{Workers: workers}); err != nil {
+				return res, err
+			}
+		}
+		loadSecs := time.Since(start).Seconds() / persistReps
+		identical := reflect.DeepEqual(dbDocs(loaded), ref)
+
+		for _, p := range []DocstorePoint{
+			{Op: "save", Workers: workers, Docs: docs, Bytes: dirBytes(dir), Seconds: saveSecs, Identical: identical},
+			{Op: "load", Workers: workers, Docs: docs, Bytes: dirBytes(dir), Seconds: loadSecs, Identical: identical},
+		} {
+			baseline := res.FlatSaveSeconds
+			if p.Op == "load" {
+				baseline = res.FlatLoadSeconds
+			}
+			if p.Seconds > 0 {
+				p.Speedup = baseline / p.Seconds
+			}
+			res.Points = append(res.Points, p)
+			fmt.Fprintf(out, "%-6s %8d %9.3f %12.0f %7.2fx %10v\n",
+				p.Op, p.Workers, p.Seconds, float64(docs)/p.Seconds, p.Speedup, p.Identical)
+		}
+		if !identical {
+			return res, fmt.Errorf("docstore: segmented store at workers=%d diverged from the flat reference", workers)
+		}
+	}
+
+	pd, err := runDocstorePushdown(db, out)
+	if err != nil {
+		return res, err
+	}
+	res.Pushdown = &pd
+
+	if jsonPath != "" {
+		body, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return res, err
+		}
+		if err := os.WriteFile(jsonPath, append(body, '\n'), 0o644); err != nil {
+			return res, err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return res, nil
+}
+
+// benchCounters is a minimal docstore.StoreObserver for the pushdown
+// comparison. The bench runs single-goroutine, so plain fields suffice.
+type benchCounters struct{ n map[string]int64 }
+
+func (o *benchCounters) AddN(counter string, n int64) {
+	if o.n == nil {
+		o.n = map[string]int64{}
+	}
+	o.n[counter] += n
+}
+
+// pushdownReps averages the pushdown comparison over several repetitions so
+// a single scheduler hiccup cannot dominate the sub-millisecond timings.
+const pushdownReps = 20
+
+// runDocstorePushdown times the same size filter through the pipeline twice
+// on the clusters collection: once as a full scan (no index) and once pushed
+// down to the ordered size index. Results must match document for document.
+// Both paths run once untimed first, so the lazy ordered-index rebuild is
+// not charged to the measurement.
+func runDocstorePushdown(db *docstore.DB, out io.Writer) (DocstorePushdown, error) {
+	clusters := db.Collection(core.ClustersCollection)
+	// Filter for the largest clusters — a few percent of the store at the
+	// benchmark scales — so the pushdown has most of the collection to skip.
+	var minSize float64 = 6
+	filter := docstore.Gte("size", minSize)
+	pd := DocstorePushdown{Filter: fmt.Sprintf("size >= %g", minSize)}
+
+	scanned := clusters.Pipeline(docstore.Match{Filter: filter}) // warm
+	scanObs := &benchCounters{}
+	clusters.SetObserver(scanObs)
+	start := time.Now()
+	for i := 0; i < pushdownReps; i++ {
+		scanned = clusters.Pipeline(docstore.Match{Filter: filter})
+	}
+	pd.ScanSeconds = time.Since(start).Seconds() / pushdownReps
+	pd.ScanScanned = scanObs.n[docstore.CounterDocsScanned] / pushdownReps
+	pd.Matches = len(scanned)
+
+	clusters.CreateOrderedIndex("size")
+	pushed := clusters.Pipeline(docstore.Match{Filter: filter}) // warm + rebuild
+	pushObs := &benchCounters{}
+	clusters.SetObserver(pushObs)
+	start = time.Now()
+	for i := 0; i < pushdownReps; i++ {
+		pushed = clusters.Pipeline(docstore.Match{Filter: filter})
+	}
+	pd.PushdownSeconds = time.Since(start).Seconds() / pushdownReps
+	pd.PushdownScanned = pushObs.n[docstore.CounterDocsScanned] / pushdownReps
+	clusters.SetObserver(nil)
+
+	pd.Identical = reflect.DeepEqual(scanned, pushed)
+	if pd.PushdownSeconds > 0 {
+		pd.Speedup = pd.ScanSeconds / pd.PushdownSeconds
+	}
+	if pd.ScanScanned > 0 {
+		pd.ScannedReduction = 1 - float64(pd.PushdownScanned)/float64(pd.ScanScanned)
+	}
+	fmt.Fprintf(out, "Pipeline pushdown (%s, %d matches of %d docs): scan %.4fs (%d scanned) vs pushdown %.4fs (%d scanned), %.2fx, identical %v\n",
+		pd.Filter, pd.Matches, clusters.Len(), pd.ScanSeconds, pd.ScanScanned,
+		pd.PushdownSeconds, pd.PushdownScanned, pd.Speedup, pd.Identical)
+	if !pd.Identical {
+		return pd, fmt.Errorf("docstore: pushdown results diverged from the scan")
+	}
+	return pd, nil
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDocstoreBench(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_docstore.json")
+	w := NewWorkspace(Tiny)
+	res, err := RunDocstoreBench(w, []int{1, 2}, jsonPath, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Docs == 0 || res.FlatBytes == 0 {
+		t.Fatalf("degenerate corpus: %+v", res)
+	}
+	if len(res.Points) != 4 { // save+load at each of 2 worker counts
+		t.Fatalf("got %d points, want 4", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Seconds <= 0 || p.Speedup <= 0 {
+			t.Errorf("%s workers=%d: degenerate measurement %+v", p.Op, p.Workers, p)
+		}
+		if !p.Identical {
+			t.Errorf("%s workers=%d: store not identical to flat baseline", p.Op, p.Workers)
+		}
+	}
+	pd := res.Pushdown
+	if pd == nil {
+		t.Fatal("missing pushdown comparison")
+	}
+	if !pd.Identical {
+		t.Error("pushdown results diverged from the scan")
+	}
+	if pd.PushdownScanned >= pd.ScanScanned {
+		t.Errorf("pushdown scanned %d docs, scan %d — the index skipped nothing",
+			pd.PushdownScanned, pd.ScanScanned)
+	}
+
+	body, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("JSON artifact not written: %v", err)
+	}
+	var decoded DocstoreResult
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatalf("JSON artifact malformed: %v", err)
+	}
+	if decoded.Docs != res.Docs || len(decoded.Points) != len(res.Points) {
+		t.Errorf("JSON artifact diverges from the returned result")
+	}
+}

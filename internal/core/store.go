@@ -140,8 +140,15 @@ func recordDoc(r voter.Record) docstore.Document {
 }
 
 // FromDocDB reconstructs a Dataset from a document database produced by
-// ToDocDB (directly or after a Save/Load round trip).
+// ToDocDB (directly or after a Save/Load round trip), parsing clusters
+// sequentially. It is FromDocDBParallel at one worker.
 func FromDocDB(db *docstore.DB) (*Dataset, error) {
+	return FromDocDBParallel(db, 1)
+}
+
+// datasetFromMeta parses the dataset-level metadata document into a fresh
+// Dataset, leaving the clusters to the caller.
+func datasetFromMeta(db *docstore.DB) (*Dataset, error) {
 	meta := db.Collection(MetaCollection).Get("dataset")
 	if meta == nil {
 		return nil, fmt.Errorf("core: document database misses the dataset metadata")
@@ -178,20 +185,6 @@ func FromDocDB(db *docstore.DB) (*Dataset, error) {
 			st.NewObjects = intAt(vd, "newObjects")
 			d.imports = append(d.imports, st)
 		}
-	}
-	var loadErr error
-	db.Collection(ClustersCollection).ForEach(func(doc docstore.Document) bool {
-		c, err := clusterFromDoc(doc)
-		if err != nil {
-			loadErr = err
-			return false
-		}
-		d.clusters[c.NCID] = c
-		d.order = append(d.order, c.NCID)
-		return true
-	})
-	if loadErr != nil {
-		return nil, loadErr
 	}
 	return d, nil
 }

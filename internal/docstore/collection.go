@@ -3,88 +3,177 @@ package docstore
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"strconv"
 	"sync"
 )
 
-// Filter is a predicate over documents; nil matches everything.
-type Filter func(Document) bool
+// Filter is a predicate over documents. Filters built by the constructors
+// below (Eq, Lt, Lte, Gt, Gte, Exists, And, Or, Not) are pure — they only
+// read the document — and introspectable, which lets the pipeline planner
+// push leading Match stages down to hash and ordered indexes. Where wraps
+// an arbitrary predicate function, which stays opaque to the planner. A nil
+// Filter matches everything.
+type Filter interface {
+	// Matches reports whether the document satisfies the filter.
+	Matches(Document) bool
+}
+
+// eqFilter matches documents whose value at path equals the literal; it is
+// the one filter a hash index can serve.
+type eqFilter struct {
+	path  string
+	value any
+}
+
+func (f eqFilter) Matches(d Document) bool {
+	got, ok := Get(d, f.path)
+	return ok && compare(got, f.value) == 0
+}
 
 // Eq matches documents whose value at path equals v.
-func Eq(path string, v any) Filter {
-	return func(d Document) bool {
-		got, ok := Get(d, path)
-		return ok && compare(got, v) == 0
+func Eq(path string, v any) Filter { return eqFilter{path, v} }
+
+// ordOp is the comparison direction of an ordFilter.
+type ordOp int
+
+const (
+	opLt ordOp = iota
+	opLte
+	opGt
+	opGte
+)
+
+// ordFilter matches documents whose value at path compares against the
+// literal in the given direction; an ordered index can serve it.
+type ordFilter struct {
+	path  string
+	value any
+	op    ordOp
+}
+
+func (f ordFilter) Matches(d Document) bool {
+	got, ok := Get(d, f.path)
+	if !ok {
+		return false
+	}
+	c := compare(got, f.value)
+	switch f.op {
+	case opLt:
+		return c < 0
+	case opLte:
+		return c <= 0
+	case opGt:
+		return c > 0
+	default:
+		return c >= 0
 	}
 }
 
 // Lt matches documents whose value at path is strictly less than v.
-func Lt(path string, v any) Filter {
-	return func(d Document) bool {
-		got, ok := Get(d, path)
-		return ok && compare(got, v) < 0
-	}
-}
+func Lt(path string, v any) Filter { return ordFilter{path, v, opLt} }
+
+// Lte matches documents whose value at path is at most v.
+func Lte(path string, v any) Filter { return ordFilter{path, v, opLte} }
 
 // Gt matches documents whose value at path is strictly greater than v.
-func Gt(path string, v any) Filter {
-	return func(d Document) bool {
-		got, ok := Get(d, path)
-		return ok && compare(got, v) > 0
-	}
-}
-
-// Lte and Gte are the inclusive variants of Lt and Gt.
-func Lte(path string, v any) Filter {
-	return func(d Document) bool {
-		got, ok := Get(d, path)
-		return ok && compare(got, v) <= 0
-	}
-}
+func Gt(path string, v any) Filter { return ordFilter{path, v, opGt} }
 
 // Gte matches documents whose value at path is at least v.
-func Gte(path string, v any) Filter {
-	return func(d Document) bool {
-		got, ok := Get(d, path)
-		return ok && compare(got, v) >= 0
-	}
+func Gte(path string, v any) Filter { return ordFilter{path, v, opGte} }
+
+// existsFilter matches documents that have any value at path.
+type existsFilter struct{ path string }
+
+func (f existsFilter) Matches(d Document) bool {
+	_, ok := Get(d, f.path)
+	return ok
 }
 
 // Exists matches documents that have any value at path.
-func Exists(path string) Filter {
-	return func(d Document) bool {
-		_, ok := Get(d, path)
-		return ok
+func Exists(path string) Filter { return existsFilter{path} }
+
+// andFilter combines filters conjunctively.
+type andFilter struct{ filters []Filter }
+
+func (f andFilter) Matches(d Document) bool {
+	for _, sub := range f.filters {
+		if sub != nil && !sub.Matches(d) {
+			return false
+		}
 	}
+	return true
 }
 
 // And combines filters conjunctively; And() matches everything.
-func And(filters ...Filter) Filter {
-	return func(d Document) bool {
-		for _, f := range filters {
-			if f != nil && !f(d) {
+func And(filters ...Filter) Filter { return andFilter{filters} }
+
+// orFilter combines filters disjunctively.
+type orFilter struct{ filters []Filter }
+
+func (f orFilter) Matches(d Document) bool {
+	for _, sub := range f.filters {
+		if sub != nil && sub.Matches(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// Or combines filters disjunctively; Or() matches nothing.
+func Or(filters ...Filter) Filter { return orFilter{filters} }
+
+// notFilter inverts a filter.
+type notFilter struct{ f Filter }
+
+func (f notFilter) Matches(d Document) bool { return !(f.f == nil || f.f.Matches(d)) }
+
+// Not inverts a filter.
+func Not(f Filter) Filter { return notFilter{f} }
+
+// whereFilter wraps an arbitrary predicate; it is opaque to the planner and
+// treated as potentially mutating.
+type whereFilter struct{ fn func(Document) bool }
+
+func (f whereFilter) Matches(d Document) bool { return f.fn(d) }
+
+// Where wraps an arbitrary predicate function as a Filter. Unlike the pure
+// constructors it cannot be pushed down to an index, and the pipeline
+// clones documents before applying it, so a misbehaving predicate can never
+// reach the stored documents.
+func Where(fn func(Document) bool) Filter { return whereFilter{fn} }
+
+// pure reports whether the filter is built solely from the read-only
+// constructors — the precondition for evaluating it against stored,
+// uncloned documents in the pipeline's pushdown prefix.
+func pure(f Filter) bool {
+	switch t := f.(type) {
+	case nil:
+		return true
+	case eqFilter, ordFilter, existsFilter:
+		return true
+	case andFilter:
+		for _, sub := range t.filters {
+			if !pure(sub) {
 				return false
 			}
 		}
 		return true
-	}
-}
-
-// Or combines filters disjunctively; Or() matches nothing.
-func Or(filters ...Filter) Filter {
-	return func(d Document) bool {
-		for _, f := range filters {
-			if f != nil && f(d) {
-				return true
+	case orFilter:
+		for _, sub := range t.filters {
+			if !pure(sub) {
+				return false
 			}
 		}
-		return false
+		return true
+	case notFilter:
+		return pure(t.f)
 	}
+	return false
 }
 
-// Not inverts a filter.
-func Not(f Filter) Filter {
-	return func(d Document) bool { return !(f == nil || f(d)) }
-}
+// matches applies a possibly nil filter.
+func matches(f Filter, d Document) bool { return f == nil || f.Matches(d) }
 
 // Collection stores documents keyed by their "_id" field, preserving
 // insertion order for scans. Secondary hash indexes over dotted paths
@@ -97,14 +186,35 @@ type Collection struct {
 	indexes map[string]index         // path -> hash index
 	ordered map[string]*orderedIndex // path -> sorted index
 	deleted int
+	obsv    StoreObserver // counter sink; nil drops counters
 }
 
 // index is a hash index from rendered value to document slots.
 type index map[string][]int
 
 // indexKey renders an indexed value; documents missing the path are not
-// indexed.
-func indexKey(v any) string { return fmt.Sprint(v) }
+// indexed. The type switch covers every scalar the JSON document model
+// produces without going through fmt's reflection (which allocates on every
+// insert and lookup); the renderings match fmt.Sprint exactly, so the
+// fallback for exotic values keys the same buckets.
+func indexKey(v any) string {
+	switch t := v.(type) {
+	case string:
+		return t
+	case float64:
+		return strconv.FormatFloat(t, 'g', -1, 64)
+	case int:
+		return strconv.Itoa(t)
+	case int64:
+		return strconv.FormatInt(t, 10)
+	case bool:
+		if t {
+			return "true"
+		}
+		return "false"
+	}
+	return fmt.Sprint(v)
+}
 
 // NewCollection returns an empty collection with the given name.
 func NewCollection(name string) *Collection {
@@ -117,6 +227,23 @@ func NewCollection(name string) *Collection {
 
 // Name returns the collection name.
 func (c *Collection) Name() string { return c.name }
+
+// SetObserver routes the collection's docstore_* counters (pipeline runs,
+// pushdown hits, documents cloned, segment and byte IO) to o; nil
+// disconnects. obs.Metrics satisfies StoreObserver.
+func (c *Collection) SetObserver(o StoreObserver) {
+	c.mu.Lock()
+	c.obsv = o
+	c.mu.Unlock()
+}
+
+// observer reads the counter sink.
+func (c *Collection) observer() StoreObserver {
+	c.mu.RLock()
+	o := c.obsv
+	c.mu.RUnlock()
+	return o
+}
 
 // Len returns the number of live documents.
 func (c *Collection) Len() int {
@@ -296,7 +423,7 @@ func (c *Collection) findScan(f Filter) []Document {
 		if doc == nil {
 			continue
 		}
-		if f == nil || f(doc) {
+		if matches(f, doc) {
 			out = append(out, doc)
 		}
 	}
@@ -317,6 +444,53 @@ func (c *Collection) ForEach(fn func(Document) bool) {
 			return
 		}
 	}
+}
+
+// ForEachParallel visits every live document with a pool of workers — the
+// embarrassingly parallel scan behind score-summary aggregation and
+// whole-collection exports. The live documents are snapshotted under the
+// read lock and then visited outside it in contiguous blocks, one block per
+// worker, so fn may call back into read methods but runs concurrently: it
+// must be safe for concurrent use and must not mutate documents. Visit
+// order is unspecified; workers <= 0 selects GOMAXPROCS.
+func (c *Collection) ForEachParallel(workers int, fn func(Document)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c.mu.RLock()
+	snap := make([]Document, 0, len(c.byID))
+	for _, doc := range c.docs {
+		if doc != nil {
+			snap = append(snap, doc)
+		}
+	}
+	c.mu.RUnlock()
+	if workers > len(snap) {
+		workers = len(snap)
+	}
+	if workers <= 1 {
+		for _, doc := range snap {
+			fn(doc)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	block := (len(snap) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * block
+		hi := min(lo+block, len(snap))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []Document) {
+			defer wg.Done()
+			for _, doc := range part {
+				fn(doc)
+			}
+		}(snap[lo:hi])
+	}
+	wg.Wait()
 }
 
 // forEachCtxStride bounds how many documents ForEachContext visits between

@@ -10,12 +10,27 @@ import (
 	"sync"
 )
 
+// Buffer sizes of the JSON-lines codec. A cluster document embeds every
+// record of the cluster, so single lines grow far past bufio's 64 KiB
+// default; loadMaxLineBytes bounds them at 64 MiB, mirroring the voter TSV
+// reader's ScanBufferBytes/MaxLineBytes pair.
+const (
+	// saveBufferBytes sizes the buffered writer of flat saves.
+	saveBufferBytes = 1 << 16
+	// loadScanBufferBytes is the scanner's initial buffer.
+	loadScanBufferBytes = 1 << 16
+	// loadMaxLineBytes is the largest single document line a load accepts.
+	loadMaxLineBytes = 1 << 26
+)
+
 // DB is a set of named collections with JSON-lines persistence. Each
 // collection saves to <dir>/<name>.jsonl via an atomic write-then-rename, so
-// a crash mid-save never corrupts a previously saved state.
+// a crash mid-save never corrupts a previously saved state. SaveParallel
+// writes the segmented format instead (see segment.go); Load reads both.
 type DB struct {
 	mu          sync.Mutex
 	collections map[string]*Collection
+	obsv        StoreObserver // inherited by collections created later
 }
 
 // NewDB returns an empty database.
@@ -30,9 +45,26 @@ func (db *DB) Collection(name string) *Collection {
 	c, ok := db.collections[name]
 	if !ok {
 		c = NewCollection(name)
+		c.SetObserver(db.obsv)
 		db.collections[name] = c
 	}
 	return c
+}
+
+// SetObserver routes the docstore_* counters of every collection — current
+// and future — to o; nil disconnects. obs.Metrics satisfies StoreObserver,
+// so a serving process wires the store into GET /metrics with one call.
+func (db *DB) SetObserver(o StoreObserver) {
+	db.mu.Lock()
+	db.obsv = o
+	cols := make([]*Collection, 0, len(db.collections))
+	for _, c := range db.collections {
+		cols = append(cols, c)
+	}
+	db.mu.Unlock()
+	for _, c := range cols {
+		c.SetObserver(o)
+	}
 }
 
 // CollectionNames returns the names of all collections, sorted.
@@ -47,7 +79,11 @@ func (db *DB) CollectionNames() []string {
 	return names
 }
 
-// Save persists every collection into dir (created if missing).
+// Save persists every collection into dir (created if missing) as one flat
+// .jsonl file each — the sequential baseline SaveParallel is measured
+// against. Any segmented state a previous SaveParallel left for the same
+// collections is removed once the flat file is in place, so the formats
+// never coexist.
 func (db *DB) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -56,25 +92,15 @@ func (db *DB) Save(dir string) error {
 		if err := db.Collection(name).Save(filepath.Join(dir, name+".jsonl")); err != nil {
 			return err
 		}
+		removeSegmentedState(dir, name)
 	}
 	return nil
 }
 
-// Load reads every *.jsonl collection file in dir into a fresh database.
+// Load reads every collection in dir — flat or segmented — into a fresh
+// database, decoding sequentially. It is LoadParallelOpts at one worker.
 func Load(dir string) (*DB, error) {
-	matches, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
-	if err != nil {
-		return nil, err
-	}
-	db := NewDB()
-	for _, path := range matches {
-		name := filepath.Base(path)
-		name = name[:len(name)-len(".jsonl")]
-		if err := db.Collection(name).LoadFile(path); err != nil {
-			return nil, err
-		}
-	}
-	return db, nil
+	return LoadParallelOpts(dir, LoadOpts{Workers: 1})
 }
 
 // Save writes the collection as JSON lines (one document per line, in
@@ -85,7 +111,7 @@ func (c *Collection) Save(path string) error {
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriterSize(f, 1<<16)
+	w := bufio.NewWriterSize(f, saveBufferBytes)
 	enc := json.NewEncoder(w)
 	var encodeErr error
 	c.ForEach(func(d Document) bool {
@@ -116,7 +142,7 @@ func (c *Collection) LoadFile(path string) error {
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<16), 1<<26)
+	sc.Buffer(make([]byte, loadScanBufferBytes), loadMaxLineBytes)
 	line := 0
 	for sc.Scan() {
 		line++

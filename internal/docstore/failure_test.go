@@ -1,8 +1,10 @@
 package docstore
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -82,6 +84,162 @@ func TestSaveFailureLeavesOldFileIntact(t *testing.T) {
 	}
 	if loaded.Collection("x").Len() != 1 {
 		t.Errorf("failed save corrupted the previous state: %d docs", loaded.Collection("x").Len())
+	}
+}
+
+// Crash-safety of segmented saves: a save that dies between steps must
+// leave a directory that either loads the previous complete state or fails
+// loudly — never a torn mix of generations.
+
+// segmentedDir saves a small DB in segmented form and returns the dir.
+func segmentedDir(t *testing.T, docs, segments int) (string, *DB) {
+	t.Helper()
+	db := NewDB()
+	c := db.Collection("x")
+	for i := 0; i < docs; i++ {
+		if err := c.Insert(D("_id", fmt.Sprintf("d%04d", i), "n", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	if err := db.SaveParallelOpts(dir, SaveOpts{Segments: segments}); err != nil {
+		t.Fatal(err)
+	}
+	return dir, db
+}
+
+func TestLoadRejectsTruncatedSegment(t *testing.T) {
+	dir, _ := segmentedDir(t, 100, 4)
+	path := filepath.Join(dir, "x.01.jsonl")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadParallel(dir); err == nil {
+		t.Fatal("truncated segment loaded silently")
+	}
+}
+
+func TestLoadRejectsCorruptedSegment(t *testing.T) {
+	// Same length, different bytes: only the CRC catches it.
+	dir, _ := segmentedDir(t, 100, 4)
+	path := filepath.Join(dir, "x.02.jsonl")
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body[len(body)/2] ^= 0x20
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadParallel(dir); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("corrupted segment: got %v, want CRC mismatch", err)
+	}
+}
+
+func TestLoadRejectsMissingSegment(t *testing.T) {
+	dir, _ := segmentedDir(t, 100, 4)
+	if err := os.Remove(filepath.Join(dir, "x.03.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadParallel(dir); err == nil {
+		t.Fatal("missing segment loaded silently")
+	}
+}
+
+func TestLoadRejectsMixedGenerationSegment(t *testing.T) {
+	// Simulate a save that crashed mid-overwrite: segment 00 is from a
+	// newer, different generation than the manifest.
+	dir, db := segmentedDir(t, 100, 4)
+	db.Collection("x").Update("d0000", func(d Document) { d["n"] = "changed" })
+	other := t.TempDir()
+	if err := db.SaveParallelOpts(other, SaveOpts{Segments: 4}); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(filepath.Join(other, "x.00.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "x.00.jsonl"), body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadParallel(dir); err == nil {
+		t.Fatal("mixed-generation segments loaded silently")
+	}
+}
+
+func TestLoadSkipsOrphanSegmentsNextToFlatFile(t *testing.T) {
+	// A segmented save that crashed before its manifest committed leaves
+	// orphan segments next to the still-authoritative flat file; the loader
+	// must serve the flat state and ignore the orphans.
+	db := NewDB()
+	db.Collection("x").Insert(D("_id", "a", "n", 1))
+	dir := t.TempDir()
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	orphan := "{\"_id\":\"ghost\"}\n"
+	if err := os.WriteFile(filepath.Join(dir, "x.00.jsonl"), []byte(orphan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadParallel(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Collection("x").Len() != 1 || loaded.Collection("x").Get("ghost") != nil {
+		t.Error("orphan segment leaked into the flat load")
+	}
+}
+
+func TestLoadRejectsOrphanSegmentsWithoutFlatFile(t *testing.T) {
+	// Orphan segments with no manifest and no flat file: there is no
+	// authoritative state to fall back to, so the load must fail loudly
+	// rather than guess.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.00.jsonl"), []byte("{\"_id\":\"a\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadParallel(dir); err == nil || !strings.Contains(err.Error(), "manifest") {
+		t.Fatalf("orphan segments: got %v, want loud manifest error", err)
+	}
+}
+
+func TestLoadRejectsUnsupportedManifestVersion(t *testing.T) {
+	dir, _ := segmentedDir(t, 10, 1)
+	manPath := filepath.Join(dir, "x"+manifestSuffix)
+	body, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manPath, []byte(strings.Replace(string(body), "\"version\": 1", "\"version\": 99", 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadParallel(dir); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future manifest version: got %v, want version error", err)
+	}
+}
+
+func TestLoadRejectsDocCountMismatch(t *testing.T) {
+	// A manifest promising more documents than its segments hold means the
+	// manifest and segments are from different generations.
+	dir, _ := segmentedDir(t, 20, 2)
+	manPath := filepath.Join(dir, "x"+manifestSuffix)
+	body, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.Replace(string(body), "\"docs\": 20", "\"docs\": 21", 1)
+	if patched == string(body) {
+		t.Fatal("fixture drift: total doc count not found in manifest")
+	}
+	if err := os.WriteFile(manPath, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadParallel(dir); err == nil {
+		t.Fatal("doc-count mismatch loaded silently")
 	}
 }
 

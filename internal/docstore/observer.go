@@ -1,0 +1,35 @@
+package docstore
+
+// StoreObserver receives the docstore counters — the docstore_pipeline_total
+// family on GET /metrics. obs.Metrics satisfies it through AddN; the
+// interface lives here (instead of importing obs) to keep docstore
+// dependency-free. A nil observer drops counters with no overhead beyond a
+// nil check.
+type StoreObserver interface {
+	// AddN adds n to the named counter. Called from worker goroutines;
+	// implementations must be safe for concurrent use.
+	AddN(counter string, n int64)
+}
+
+// Counter names of the docstore_pipeline_total family. The segments/bytes/
+// docs counters track the segmented persistence layer; the pipeline
+// counters track the streaming query path and its index pushdown.
+const (
+	CounterSegmentsWritten = "docstore_segments_written"
+	CounterSegmentsRead    = "docstore_segments_read"
+	CounterBytesWritten    = "docstore_bytes_written"
+	CounterBytesRead       = "docstore_bytes_read"
+	CounterDocsWritten     = "docstore_docs_written"
+	CounterDocsRead        = "docstore_docs_read"
+	CounterPipelineRuns    = "docstore_pipeline_runs"
+	CounterPushdownHits    = "docstore_pushdown_hits"
+	CounterDocsScanned     = "docstore_docs_scanned"
+	CounterDocsCloned      = "docstore_docs_cloned"
+)
+
+// addN reports to a possibly nil observer, skipping zero deltas.
+func addN(o StoreObserver, counter string, n int64) {
+	if o != nil && n != 0 {
+		o.AddN(counter, n)
+	}
+}

@@ -6,47 +6,273 @@ import (
 	"strings"
 )
 
+// iterator is the pull stream the pipeline stages compose over: each call
+// yields the next document, or ok == false once the stream ends.
+type iterator func() (doc Document, ok bool)
+
 // Stage transforms a document stream; stages compose into an aggregation
 // pipeline (the counterpart of MongoDB's aggregation framework the paper
-// uses for customization, §5).
+// uses for customization, §5). Stages stream: a document flows through the
+// whole chain before the next one is pulled, so no per-stage intermediate
+// slices materialize. Barrier stages (Sort, Group, Sample) buffer
+// internally, as their semantics require.
 type Stage interface {
-	apply([]Document) []Document
+	stream(in iterator) iterator
+}
+
+// sliceIter streams a slice.
+func sliceIter(docs []Document) iterator {
+	i := 0
+	return func() (Document, bool) {
+		if i >= len(docs) {
+			return nil, false
+		}
+		d := docs[i]
+		i++
+		return d, true
+	}
+}
+
+// drain materializes the remainder of a stream.
+func drain(it iterator) []Document {
+	var out []Document
+	for d, ok := it(); ok; d, ok = it() {
+		out = append(out, d)
+	}
+	return out
+}
+
+// barrier adapts a whole-stream transform into a stage that drains its
+// input lazily on the first pull and then streams the result.
+func barrier(in iterator, apply func([]Document) []Document) iterator {
+	var out iterator
+	return func() (Document, bool) {
+		if out == nil {
+			out = sliceIter(apply(drain(in)))
+		}
+		return out()
+	}
 }
 
 // Pipeline runs the stages over the collection's documents and returns the
-// result. The input documents are cloned before the first stage, so
-// pipelines never mutate the store.
+// result. Leading Match stages built from the pure filter constructors are
+// evaluated against the stored documents first — pushed down to a hash or
+// ordered index when one covers a filtered path — and only the surviving
+// documents are cloned, so pipelines still never mutate the store but no
+// longer deep-copy documents the first Match would drop. Cloning is lazy:
+// a downstream Limit stops pulling, and the clones it never pulled are
+// never made. The remaining stages stream document by document.
 func (c *Collection) Pipeline(stages ...Stage) []Document {
-	input := c.Find(nil)
-	docs := make([]Document, len(input))
-	for i, d := range input {
-		docs[i] = Clone(d)
+	// Split off the pure leading Match prefix, evaluated before cloning.
+	var pre []Filter
+	rest := stages
+	for len(rest) > 0 {
+		m, ok := rest[0].(Match)
+		if !ok || !pure(m.Filter) {
+			break
+		}
+		if m.Filter != nil {
+			pre = append(pre, m.Filter)
+		}
+		rest = rest[1:]
 	}
-	for _, s := range stages {
-		docs = s.apply(docs)
+	survivors, scanned, pushdown := c.matchStored(pre)
+
+	cloned := 0
+	src := sliceIter(survivors)
+	out := iterator(func() (Document, bool) {
+		d, ok := src()
+		if !ok {
+			return nil, false
+		}
+		cloned++
+		return Clone(d), true
+	})
+	for _, s := range rest {
+		out = s.stream(out)
 	}
-	return docs
-}
+	result := drain(out)
 
-// Match keeps the documents satisfying the filter.
-type Match struct{ Filter Filter }
-
-func (m Match) apply(docs []Document) []Document {
-	var out []Document
-	for _, d := range docs {
-		if m.Filter == nil || m.Filter(d) {
-			out = append(out, d)
+	if o := c.observer(); o != nil {
+		addN(o, CounterPipelineRuns, 1)
+		addN(o, CounterDocsScanned, int64(scanned))
+		addN(o, CounterDocsCloned, int64(cloned))
+		if pushdown {
+			addN(o, CounterPushdownHits, 1)
 		}
 	}
-	return out
+	return result
+}
+
+// matchStored evaluates pure filters against the stored documents and
+// returns the survivors (uncloned, insertion order), the number of
+// candidates examined, and whether an index served the scan.
+func (c *Collection) matchStored(filters []Filter) (survivors []Document, scanned int, pushdown bool) {
+	var plan *pushPlan
+	if len(filters) > 0 {
+		// Planning may refresh an ordered index, which takes the write
+		// lock — run it before the read-locked scan.
+		plan = c.planPushdown(filters[0])
+	}
+
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	match := func(d Document) bool {
+		for _, f := range filters {
+			if !f.Matches(d) {
+				return false
+			}
+		}
+		return true
+	}
+	if plan != nil {
+		for _, slot := range c.planSlotsLocked(plan) {
+			d := c.docs[slot]
+			if d == nil {
+				continue
+			}
+			scanned++
+			if match(d) {
+				survivors = append(survivors, d)
+			}
+		}
+		return survivors, scanned, true
+	}
+	for _, d := range c.docs {
+		if d == nil {
+			continue
+		}
+		scanned++
+		if match(d) {
+			survivors = append(survivors, d)
+		}
+	}
+	return survivors, scanned, false
+}
+
+// pushPlan is the index access chosen for the leading Match filter: one
+// eq/ord leaf served by either the path's hash index (ord == nil) or its
+// ordered index. The full filter still runs over the candidates — indexes
+// render values through indexKey, which can collapse distinct values, and
+// a conjunction may carry further predicates.
+type pushPlan struct {
+	filter Filter
+	ord    *orderedIndex
+}
+
+// planPushdown picks an index for the filter: an equality on a hash- or
+// ordered-indexed path, a range on an ordered-indexed path, or — inside a
+// conjunction — the first conjunct either serves.
+func (c *Collection) planPushdown(f Filter) *pushPlan {
+	switch t := f.(type) {
+	case eqFilter:
+		if c.HasIndex(t.path) {
+			return &pushPlan{filter: t}
+		}
+		if ord, ok := c.refreshOrdered(t.path); ok {
+			return &pushPlan{filter: t, ord: ord}
+		}
+	case ordFilter:
+		if ord, ok := c.refreshOrdered(t.path); ok {
+			return &pushPlan{filter: t, ord: ord}
+		}
+	case andFilter:
+		for _, sub := range t.filters {
+			if p := c.planPushdown(sub); p != nil {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// planSlotsLocked resolves a plan to candidate slots in insertion order;
+// callers hold at least the read lock.
+func (c *Collection) planSlotsLocked(p *pushPlan) []int {
+	switch t := p.filter.(type) {
+	case eqFilter:
+		if p.ord == nil {
+			slots := append([]int(nil), c.indexes[t.path][indexKey(t.value)]...)
+			sort.Ints(slots)
+			return slots
+		}
+		return ordSlots(p.ord, t.value, t.value, false, false)
+	case ordFilter:
+		var lo, hi any
+		var exLo, exHi bool
+		switch t.op {
+		case opLt:
+			hi, exHi = t.value, true
+		case opLte:
+			hi = t.value
+		case opGt:
+			lo, exLo = t.value, true
+		default:
+			lo = t.value
+		}
+		return ordSlots(p.ord, lo, hi, exLo, exHi)
+	}
+	return nil
+}
+
+// ordSlots collects the slots of ordered-index entries within [lo, hi]
+// (nil bounds are open; exLo/exHi exclude the bound itself), returned in
+// insertion order.
+func ordSlots(ix *orderedIndex, lo, hi any, exLo, exHi bool) []int {
+	entries := ix.entries
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(entries), func(i int) bool {
+			if exLo {
+				return compare(entries[i].value, lo) > 0
+			}
+			return compare(entries[i].value, lo) >= 0
+		})
+	}
+	var slots []int
+	for i := start; i < len(entries); i++ {
+		if hi != nil {
+			cmp := compare(entries[i].value, hi)
+			if cmp > 0 || (exHi && cmp == 0) {
+				break
+			}
+		}
+		slots = append(slots, entries[i].slot)
+	}
+	sort.Ints(slots)
+	return slots
+}
+
+// Match keeps the documents satisfying the filter. Leading Matches built
+// from the pure filter constructors run against stored documents before any
+// cloning (with index pushdown); elsewhere in the pipeline they filter the
+// stream.
+type Match struct{ Filter Filter }
+
+func (m Match) stream(in iterator) iterator {
+	return func() (Document, bool) {
+		for {
+			d, ok := in()
+			if !ok {
+				return nil, false
+			}
+			if matches(m.Filter, d) {
+				return d, true
+			}
+		}
+	}
 }
 
 // Project keeps only the listed top-level-or-dotted paths (plus "_id").
 type Project struct{ Paths []string }
 
-func (p Project) apply(docs []Document) []Document {
-	out := make([]Document, 0, len(docs))
-	for _, d := range docs {
+func (p Project) stream(in iterator) iterator {
+	return func() (Document, bool) {
+		d, ok := in()
+		if !ok {
+			return nil, false
+		}
 		nd := Document{}
 		if id, ok := d["_id"]; ok {
 			nd["_id"] = id
@@ -58,9 +284,8 @@ func (p Project) apply(docs []Document) []Document {
 				}
 			}
 		}
-		out = append(out, nd)
+		return nd, true
 	}
-	return out
 }
 
 // Unwind replaces each document by one document per element of the array at
@@ -69,25 +294,34 @@ func (p Project) apply(docs []Document) []Document {
 // Path are dropped.
 type Unwind struct{ Path string }
 
-func (u Unwind) apply(docs []Document) []Document {
-	var out []Document
-	for _, d := range docs {
-		v, ok := Get(d, u.Path)
-		if !ok {
-			continue
-		}
-		arr, ok := v.([]any)
-		if !ok {
-			continue
-		}
-		for _, el := range arr {
-			nd := Clone(d)
-			if err := Set(nd, u.Path, el); err == nil {
-				out = append(out, nd)
+func (u Unwind) stream(in iterator) iterator {
+	var cur Document
+	var rest []any
+	return func() (Document, bool) {
+		for {
+			for len(rest) > 0 {
+				el := rest[0]
+				rest = rest[1:]
+				nd := Clone(cur)
+				if err := Set(nd, u.Path, el); err == nil {
+					return nd, true
+				}
 			}
+			d, ok := in()
+			if !ok {
+				return nil, false
+			}
+			v, ok := Get(d, u.Path)
+			if !ok {
+				continue
+			}
+			arr, ok := v.([]any)
+			if !ok {
+				continue
+			}
+			cur, rest = d, arr
 		}
 	}
-	return out
 }
 
 // Accumulator aggregates the values of one group.
@@ -99,11 +333,13 @@ type Accumulator struct {
 
 // Group groups documents by the value at ByPath and emits one document per
 // group with "_id" set to the (rendered) group key plus one field per
-// accumulator.
+// accumulator. Group is a barrier: it buffers its input before emitting.
 type Group struct {
 	ByPath string
 	Accums []Accumulator
 }
+
+func (g Group) stream(in iterator) iterator { return barrier(in, g.apply) }
 
 func (g Group) apply(docs []Document) []Document {
 	type agg struct {
@@ -177,11 +413,13 @@ func (g Group) apply(docs []Document) []Document {
 }
 
 // Sort orders the stream by the value at Path; Desc reverses. The sort is
-// stable.
+// stable. Sort is a barrier: it buffers its input before emitting.
 type Sort struct {
 	Path string
 	Desc bool
 }
+
+func (s Sort) stream(in iterator) iterator { return barrier(in, s.apply) }
 
 func (s Sort) apply(docs []Document) []Document {
 	sort.SliceStable(docs, func(i, j int) bool {
@@ -195,31 +433,59 @@ func (s Sort) apply(docs []Document) []Document {
 	return docs
 }
 
-// Limit truncates the stream to at most N documents.
+// Limit truncates the stream to at most N documents. Limit streams: once N
+// documents have passed, upstream stages are never pulled again, so the
+// documents they would have produced (and their clones) are never made.
 type Limit struct{ N int }
 
-func (l Limit) apply(docs []Document) []Document {
-	if len(docs) > l.N {
-		return docs[:l.N]
+func (l Limit) stream(in iterator) iterator {
+	n := 0
+	return func() (Document, bool) {
+		if n >= l.N {
+			return nil, false
+		}
+		d, ok := in()
+		if !ok {
+			return nil, false
+		}
+		n++
+		return d, true
 	}
-	return docs
 }
 
 // Skip drops the first N documents.
 type Skip struct{ N int }
 
-func (s Skip) apply(docs []Document) []Document {
-	if len(docs) > s.N {
-		return docs[s.N:]
+func (s Skip) stream(in iterator) iterator {
+	skipped := 0
+	return func() (Document, bool) {
+		for skipped < s.N {
+			if _, ok := in(); !ok {
+				return nil, false
+			}
+			skipped++
+		}
+		return in()
 	}
-	return nil
 }
 
-// Count replaces the stream with a single {"count": n} document.
+// Count replaces the stream with a single {"count": n} document. Count
+// streams in O(1) memory: it consumes its input without buffering it.
 type Count struct{}
 
-func (Count) apply(docs []Document) []Document {
-	return []Document{{"count": float64(len(docs))}}
+func (Count) stream(in iterator) iterator {
+	done := false
+	return func() (Document, bool) {
+		if done {
+			return nil, false
+		}
+		done = true
+		n := 0
+		for _, ok := in(); ok; _, ok = in() {
+			n++
+		}
+		return Document{"count": float64(n)}, true
+	}
 }
 
 // AddField computes a new field per document from the document itself —
@@ -229,21 +495,27 @@ type AddField struct {
 	Fn   func(Document) any
 }
 
-func (a AddField) apply(docs []Document) []Document {
-	for _, d := range docs {
-		if err := Set(d, a.Path, a.Fn(d)); err != nil {
-			continue
+func (a AddField) stream(in iterator) iterator {
+	return func() (Document, bool) {
+		d, ok := in()
+		if !ok {
+			return nil, false
 		}
+		// A blocked path leaves the document unchanged.
+		_ = Set(d, a.Path, a.Fn(d))
+		return d, true
 	}
-	return docs
 }
 
 // Sample keeps a deterministic pseudo-random subset of N documents (seeded,
-// so pipelines reproduce). With N >= len the stream passes through.
+// so pipelines reproduce). With N >= len the stream passes through. Sample
+// is a barrier: it buffers its input before emitting.
 type Sample struct {
 	N    int
 	Seed int64
 }
+
+func (s Sample) stream(in iterator) iterator { return barrier(in, s.apply) }
 
 func (s Sample) apply(docs []Document) []Document {
 	if s.N >= len(docs) {
@@ -269,22 +541,26 @@ func (s Sample) apply(docs []Document) []Document {
 // value at Path, in first-appearance order.
 type Distinct struct{ Path string }
 
-func (d Distinct) apply(docs []Document) []Document {
+func (dst Distinct) stream(in iterator) iterator {
 	seen := map[string]bool{}
-	var out []Document
-	for _, doc := range docs {
-		v, ok := Get(doc, d.Path)
-		if !ok {
-			continue
+	return func() (Document, bool) {
+		for {
+			doc, ok := in()
+			if !ok {
+				return nil, false
+			}
+			v, ok := Get(doc, dst.Path)
+			if !ok {
+				continue
+			}
+			k := indexKey(v)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			return Document{"value": v}, true
 		}
-		k := indexKey(v)
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out = append(out, Document{"value": v})
 	}
-	return out
 }
 
 // FieldPathEscape is a helper for keys containing dots (e.g. snapshot

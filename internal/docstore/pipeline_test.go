@@ -1,0 +1,311 @@
+package docstore
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// pushdownCollection builds a collection with a hash index on "county" and
+// an ordered index on "score"; "tag" stays unindexed so the same filters can
+// run as plain scans.
+func pushdownCollection(t testing.TB, n int) *Collection {
+	t.Helper()
+	c := NewCollection("push")
+	c.CreateIndex("county")
+	c.CreateOrderedIndex("score")
+	for i := 0; i < n; i++ {
+		err := c.Insert(D(
+			"_id", fmt.Sprintf("d%05d", i),
+			"county", fmt.Sprintf("county-%d", i%13),
+			"score", float64(i%97)/97,
+			"tag", fmt.Sprintf("tag-%d", i%7),
+		))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 11 {
+		c.Delete(fmt.Sprintf("d%05d", i))
+	}
+	return c
+}
+
+// TestPipelinePushdownMatchesScan is the planner's correctness net: every
+// filter shape must return exactly what the same pipeline returns on an
+// index-free copy of the data, in the same order.
+func TestPipelinePushdownMatchesScan(t *testing.T) {
+	indexed := pushdownCollection(t, 400)
+	plain := NewCollection("plain")
+	indexed.ForEach(func(d Document) bool {
+		if err := plain.Insert(Clone(d)); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+
+	filters := map[string]Filter{
+		"eq-hash":        Eq("county", "county-3"),
+		"eq-ordered":     Eq("score", float64(42)/97),
+		"eq-miss":        Eq("county", "nowhere"),
+		"lt":             Lt("score", 0.25),
+		"lte":            Lte("score", 0.25),
+		"gt":             Gt("score", 0.75),
+		"gte":            Gte("score", 0.75),
+		"and-pushable":   And(Eq("county", "county-5"), Gt("score", 0.5)),
+		"and-later-conj": And(Eq("tag", "tag-2"), Lte("score", 0.5)),
+		"or-no-pushdown": Or(Eq("county", "county-1"), Eq("county", "county-2")),
+		"not":            Not(Eq("county", "county-1")),
+		"exists":         Exists("score"),
+		"where-opaque":   Where(func(d Document) bool { v, _ := Get(d, "tag"); return v == "tag-3" }),
+		"nil":            nil,
+	}
+	for name, f := range filters {
+		t.Run(name, func(t *testing.T) {
+			got := indexed.Pipeline(Match{f}, Sort{Path: "_id"})
+			want := plain.Pipeline(Match{f}, Sort{Path: "_id"})
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("pushdown diverged from plain scan: %d vs %d docs", len(got), len(want))
+			}
+		})
+	}
+}
+
+func TestPipelinePushdownCounters(t *testing.T) {
+	c := pushdownCollection(t, 200)
+	obs := &countObserver{}
+	c.SetObserver(obs)
+
+	// Indexed equality: the scan must touch only the index bucket.
+	out := c.Pipeline(Match{Eq("county", "county-3")})
+	if obs.get(CounterPushdownHits) != 1 {
+		t.Error("indexed Match did not report a pushdown hit")
+	}
+	if scanned := obs.get(CounterDocsScanned); scanned != int64(len(out)) {
+		t.Errorf("indexed Match scanned %d docs for %d results", scanned, len(out))
+	}
+	if cloned := obs.get(CounterDocsCloned); cloned != int64(len(out)) {
+		t.Errorf("cloned %d docs for %d results", cloned, len(out))
+	}
+
+	// Unindexed equality: full scan, no pushdown.
+	before := obs.get(CounterDocsScanned)
+	c.Pipeline(Match{Eq("tag", "tag-1")})
+	if obs.get(CounterPushdownHits) != 1 {
+		t.Error("unindexed Match claimed a pushdown hit")
+	}
+	if obs.get(CounterDocsScanned)-before != int64(c.Len()) {
+		t.Error("unindexed Match did not scan the whole collection")
+	}
+	if obs.get(CounterPipelineRuns) != 2 {
+		t.Errorf("pipeline runs counter = %d, want 2", obs.get(CounterPipelineRuns))
+	}
+}
+
+func TestPipelineLimitStopsCloning(t *testing.T) {
+	// Streaming means a Limit after a Match stops pulling — and therefore
+	// stops cloning — once it is satisfied.
+	c := pushdownCollection(t, 300)
+	obs := &countObserver{}
+	c.SetObserver(obs)
+	out := c.Pipeline(Match{Exists("score")}, Limit{N: 5})
+	if len(out) != 5 {
+		t.Fatalf("Limit returned %d docs", len(out))
+	}
+	if cloned := obs.get(CounterDocsCloned); cloned != 5 {
+		t.Errorf("cloned %d docs for a Limit of 5", cloned)
+	}
+}
+
+// TestPipelineStagesCannotMutateStore is the no-mutation regression test:
+// hostile stages and predicates operate on clones, so the stored documents
+// (reachable by later queries) must come through unscathed.
+func TestPipelineStagesCannotMutateStore(t *testing.T) {
+	c := NewCollection("x")
+	for i := 0; i < 10; i++ {
+		if err := c.Insert(D("_id", fmt.Sprintf("d%d", i), "n", i, "arr", []any{1, 2})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.Pipeline() // Pipeline clones, so this snapshot is safe
+	c.Pipeline(
+		Match{Where(func(d Document) bool { d["evil"] = true; return true })},
+		AddField{Path: "n", Fn: func(d Document) any { d["arr"].([]any)[0] = 99; return -1 }},
+		Unwind{Path: "arr"},
+	)
+	c.Pipeline(Match{Eq("n", 3)}, AddField{Path: "smuggled", Fn: func(d Document) any { return true }})
+	after := c.Pipeline()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("a pipeline stage mutated stored documents")
+	}
+}
+
+func TestPipelineStreamsBarrierStages(t *testing.T) {
+	// Sort/Group/Sample buffer internally but must still compose with the
+	// streaming stages around them.
+	c := pushdownCollection(t, 120)
+	out := c.Pipeline(
+		Match{Gte("score", 0.5)},
+		Sort{Path: "score", Desc: true},
+		Skip{N: 2},
+		Limit{N: 4},
+		Project{Paths: []string{"score"}},
+	)
+	if len(out) != 4 {
+		t.Fatalf("got %d docs, want 4", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		a, _ := Get(out[i-1], "score")
+		b, _ := Get(out[i], "score")
+		if compare(a, b) < 0 {
+			t.Fatal("Sort order violated after Skip/Limit")
+		}
+	}
+	counted := c.Pipeline(Match{Lt("score", 0.5)}, Count{})
+	if len(counted) != 1 {
+		t.Fatalf("Count emitted %d docs", len(counted))
+	}
+	sampled := c.Pipeline(Sample{N: 7, Seed: 3})
+	if len(sampled) != 7 {
+		t.Fatalf("Sample returned %d docs, want 7", len(sampled))
+	}
+}
+
+func TestForEachParallelMatchesSequential(t *testing.T) {
+	c := pushdownCollection(t, 500)
+	want := map[string]bool{}
+	c.ForEach(func(d Document) bool {
+		want[d["_id"].(string)] = true
+		return true
+	})
+	for _, workers := range []int{0, 1, 2, 7} {
+		var mu sync.Mutex
+		got := map[string]bool{}
+		c.ForEachParallel(workers, func(d Document) {
+			mu.Lock()
+			got[d["_id"].(string)] = true
+			mu.Unlock()
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d visited %d docs, want %d", workers, len(got), len(want))
+		}
+	}
+	// Empty collection must not deadlock or spawn goroutines.
+	NewCollection("empty").ForEachParallel(4, func(Document) { t.Error("visited a phantom doc") })
+}
+
+func TestIndexKeyMatchesFmtSprint(t *testing.T) {
+	// The fast path must key the same buckets as the fmt.Sprint fallback,
+	// or an index built before a type changes shape would miss documents.
+	values := []any{
+		"s", "", 0, 42, -7, int64(1 << 40), int64(-3),
+		0.0, 1.0, 3.14, -2.5e-8, 1e21, float64(1 << 53),
+		true, false,
+	}
+	for _, v := range values {
+		if got, want := indexKey(v), fmt.Sprint(v); got != want {
+			t.Errorf("indexKey(%#v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func BenchmarkIndexKey(b *testing.B) {
+	// The satellite's allocation benchmark: string and float64 are the two
+	// renderings every insert into an indexed collection pays.
+	b.Run("string", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			indexKey("county-7")
+		}
+	})
+	b.Run("float64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			indexKey(float64(i%97) / 97)
+		}
+	})
+	b.Run("fallback", func(b *testing.B) {
+		b.ReportAllocs()
+		v := []any{1, 2}
+		for i := 0; i < b.N; i++ {
+			indexKey(v)
+		}
+	})
+}
+
+func BenchmarkPipelinePushdown(b *testing.B) {
+	c := pushdownCollection(b, 5000)
+	plain := NewCollection("plain")
+	c.ForEach(func(d Document) bool {
+		if err := plain.Insert(Clone(d)); err != nil {
+			b.Fatal(err)
+		}
+		return true
+	})
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Pipeline(Match{Eq("county", "county-3")}, Count{})
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plain.Pipeline(Match{Eq("county", "county-3")}, Count{})
+		}
+	})
+}
+
+func BenchmarkForEachParallel(b *testing.B) {
+	c := pushdownCollection(b, 20000)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				total := int64(0)
+				var mu sync.Mutex
+				c.ForEachParallel(workers, func(d Document) {
+					v, _ := Get(d, "score")
+					f, _ := toFloat(v)
+					mu.Lock()
+					total += int64(f * 100)
+					mu.Unlock()
+				})
+			}
+		})
+	}
+}
+
+// TestOrdSlotsBounds pins the ordered-index range resolution the planner
+// relies on: inclusive and exclusive bounds, open ends, insertion order.
+func TestOrdSlotsBounds(t *testing.T) {
+	c := NewCollection("x")
+	c.CreateOrderedIndex("v")
+	for i := 0; i < 10; i++ {
+		if err := c.Insert(D("_id", fmt.Sprintf("d%d", i), "v", i%5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, ok := c.refreshOrdered("v")
+	if !ok {
+		t.Fatal("no ordered index")
+	}
+	get := func(lo, hi any, exLo, exHi bool) []int {
+		slots := ordSlots(ix, lo, hi, exLo, exHi)
+		if !sort.IntsAreSorted(slots) {
+			t.Fatalf("slots not in insertion order: %v", slots)
+		}
+		return slots
+	}
+	if got := get(2, 2, false, false); len(got) != 2 {
+		t.Errorf("v == 2: %d slots, want 2", len(got))
+	}
+	if got := get(2, nil, true, false); len(got) != 4 {
+		t.Errorf("v > 2: %d slots, want 4", len(got))
+	}
+	if got := get(nil, 2, false, true); len(got) != 4 {
+		t.Errorf("v < 2: %d slots, want 4", len(got))
+	}
+	if got := get(nil, nil, false, false); len(got) != 10 {
+		t.Errorf("open scan: %d slots, want 10", len(got))
+	}
+}

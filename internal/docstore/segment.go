@@ -1,0 +1,499 @@
+package docstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Segmented persistence: each collection splits into N segment files
+// (<name>.00.jsonl … <name>.NN.jsonl) holding contiguous insertion-order
+// ranges, plus a versioned manifest (<name>.manifest.json) that lists the
+// segments with their sizes and CRCs. Encoding and decoding fan out over a
+// worker pool — the same sharded-worker pattern as snapshot ingest and pair
+// scoring — while the segment layout depends only on the data, never on the
+// worker count, so saves are byte-identical at any parallelism and loads
+// rebuild the same document order and index contents as the flat path.
+//
+// The manifest is the commit point. Saves write and rename every segment
+// first, then write and rename the manifest, then delete stale files; loads
+// trust only what a manifest lists and verify each segment's byte count and
+// CRC against it. A crash therefore leaves either the previous complete
+// state (no new manifest yet) or the new complete state — segment files
+// without a covering manifest are orphans, skipped when an authoritative
+// flat file exists for the same collection and a loud error otherwise.
+
+const (
+	// manifestVersion is bumped when the manifest schema changes; loaders
+	// reject versions they do not understand instead of guessing.
+	manifestVersion = 1
+
+	// manifestSuffix names a collection's manifest file.
+	manifestSuffix = ".manifest.json"
+
+	// segmentTargetDocs sizes automatic segmentation: one segment per this
+	// many documents, up to maxSegments.
+	segmentTargetDocs = 4096
+
+	// maxSegments caps the segment count; two digits in the file names
+	// bound it below 100, and beyond a few dozen segments per-file overhead
+	// outweighs parallelism.
+	maxSegments = 64
+)
+
+// segmentFileRe recognizes segment file names: <root>.<2+ digits>.jsonl.
+var segmentFileRe = regexp.MustCompile(`^(.+)\.(\d{2,})\.jsonl$`)
+
+// segmentManifest is the on-disk manifest of one segmented collection.
+type segmentManifest struct {
+	Version    int           `json:"version"`
+	Collection string        `json:"collection"`
+	Docs       int           `json:"docs"`
+	Segments   []segmentInfo `json:"segments"`
+}
+
+// segmentInfo describes one segment file; Bytes and CRC32 let the loader
+// detect torn or mixed-generation segments before any document is decoded.
+type segmentInfo struct {
+	File  string `json:"file"`
+	Docs  int    `json:"docs"`
+	Bytes int64  `json:"bytes"`
+	CRC32 uint32 `json:"crc32"`
+}
+
+// SaveOpts configures SaveParallelOpts.
+type SaveOpts struct {
+	// Workers is the encode pool size; <= 0 selects GOMAXPROCS. The worker
+	// count never changes the bytes on disk.
+	Workers int
+	// Segments fixes the per-collection segment count; <= 0 derives it from
+	// the document count (one segment per segmentTargetDocs documents,
+	// capped at maxSegments).
+	Segments int
+	// Observer receives the docstore_* persistence counters; nil drops them.
+	Observer StoreObserver
+}
+
+// LoadOpts configures LoadParallelOpts.
+type LoadOpts struct {
+	// Workers is the decode pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Observer receives the docstore_* persistence counters; nil drops them.
+	Observer StoreObserver
+}
+
+// segmentBufPool recycles encode/decode buffers across segments and saves.
+var segmentBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// SaveParallel persists every collection into dir as segmented JSON lines
+// using GOMAXPROCS encode workers. See SaveParallelOpts.
+func (db *DB) SaveParallel(dir string) error {
+	return db.SaveParallelOpts(dir, SaveOpts{})
+}
+
+// SaveParallelOpts persists every collection into dir (created if missing)
+// as segment files plus a manifest, encoding segments on a worker pool with
+// pooled buffers. The resulting files are byte-identical for any worker
+// count, and LoadParallel rebuilds a database identical to one that made
+// the round trip through the flat Save/Load path. Stale flat files and
+// left-over segments from earlier saves are removed after the manifest
+// commits.
+func (db *DB) SaveParallelOpts(dir string, opts SaveOpts) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range db.CollectionNames() {
+		if err := db.Collection(name).saveSegmented(dir, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshotDocs returns the live documents in insertion order.
+func (c *Collection) snapshotDocs() []Document {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	snap := make([]Document, 0, len(c.byID))
+	for _, doc := range c.docs {
+		if doc != nil {
+			snap = append(snap, doc)
+		}
+	}
+	return snap
+}
+
+// segmentCount derives the segment count for docs documents; requested > 0
+// overrides the automatic sizing. The count depends only on its inputs —
+// never on the worker pool — so the segment layout is deterministic.
+func segmentCount(docs, requested int) int {
+	n := requested
+	if n <= 0 {
+		n = (docs + segmentTargetDocs - 1) / segmentTargetDocs
+	}
+	if n > maxSegments {
+		n = maxSegments
+	}
+	if n > docs {
+		n = docs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// segmentFileName names segment i of a collection.
+func segmentFileName(name string, i int) string {
+	return fmt.Sprintf("%s.%02d.jsonl", name, i)
+}
+
+// saveSegmented writes the collection as segments plus a manifest into dir.
+func (c *Collection) saveSegmented(dir string, opts SaveOpts) error {
+	docs := c.snapshotDocs()
+	n := segmentCount(len(docs), opts.Segments)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, n)
+
+	// Balanced contiguous partition: segment i holds docs[i*len/n :
+	// (i+1)*len/n]. Depends only on (len(docs), n).
+	infos := make([]segmentInfo, n)
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				lo, hi := i*len(docs)/n, (i+1)*len(docs)/n
+				infos[i], errs[i] = writeSegment(
+					filepath.Join(dir, segmentFileName(c.name, i)), docs[lo:hi])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Commit: the manifest rename is the single atomic switch to the new
+	// state.
+	man := segmentManifest{
+		Version:    manifestVersion,
+		Collection: c.name,
+		Docs:       len(docs),
+		Segments:   infos,
+	}
+	body, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	manPath := filepath.Join(dir, c.name+manifestSuffix)
+	tmp := manPath + ".tmp"
+	if err := os.WriteFile(tmp, append(body, '\n'), 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, manPath); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+
+	// Post-commit cleanup: the flat file and any higher-numbered segments
+	// from an earlier, wider save are stale now.
+	os.Remove(filepath.Join(dir, c.name+".jsonl"))
+	removeStaleSegments(dir, c.name, n)
+
+	o := opts.Observer
+	addN(o, CounterSegmentsWritten, int64(n))
+	addN(o, CounterDocsWritten, int64(len(docs)))
+	var totalBytes int64
+	for _, info := range infos {
+		totalBytes += info.Bytes
+	}
+	addN(o, CounterBytesWritten, totalBytes)
+	return nil
+}
+
+// writeSegment encodes docs into a pooled buffer and writes them to path via
+// a temporary file and rename.
+func writeSegment(path string, docs []Document) (segmentInfo, error) {
+	buf := segmentBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer segmentBufPool.Put(buf)
+	enc := json.NewEncoder(buf)
+	for _, d := range docs {
+		if err := enc.Encode(d); err != nil {
+			return segmentInfo{}, fmt.Errorf("docstore: %s: %w", path, err)
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		os.Remove(tmp)
+		return segmentInfo{}, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return segmentInfo{}, err
+	}
+	return segmentInfo{
+		File:  filepath.Base(path),
+		Docs:  len(docs),
+		Bytes: int64(buf.Len()),
+		CRC32: crc32.ChecksumIEEE(buf.Bytes()),
+	}, nil
+}
+
+// removeStaleSegments deletes segment files of the collection with index >=
+// keep — leftovers from an earlier save that used more segments.
+func removeStaleSegments(dir, name string, keep int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		m := segmentFileRe.FindStringSubmatch(e.Name())
+		if m == nil || m[1] != name {
+			continue
+		}
+		if idx, err := strconv.Atoi(m[2]); err == nil && idx >= keep {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// removeSegmentedState deletes a collection's manifest and segment files —
+// the flat Save path calls it so the two formats never coexist. The
+// manifest goes first: once it is gone a crash leaves orphan segments next
+// to an authoritative flat file, which the loader skips, instead of a live
+// manifest pointing at files a later step deletes.
+func removeSegmentedState(dir, name string) {
+	os.Remove(filepath.Join(dir, name+manifestSuffix))
+	removeStaleSegments(dir, name, 0)
+}
+
+// LoadParallel reads a directory saved by either Save or SaveParallel into
+// a fresh database using GOMAXPROCS decode workers. See LoadParallelOpts.
+func LoadParallel(dir string) (*DB, error) {
+	return LoadParallelOpts(dir, LoadOpts{})
+}
+
+// LoadParallelOpts reads every collection in dir — segmented (manifest
+// present) or flat single-file .jsonl — into a fresh database. Segments
+// decode on a worker pool and are verified against the manifest's byte
+// counts and CRCs, so a torn or mixed-generation store fails loudly instead
+// of loading silently wrong data; documents then insert in segment order,
+// which reproduces exactly the document order and index contents of a flat
+// sequential load. Orphan segment files (a save that crashed before its
+// manifest committed) are skipped when the collection still has its flat
+// file and rejected otherwise.
+func LoadParallelOpts(dir string, opts LoadOpts) (*DB, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		// A missing directory is an empty database, matching the historical
+		// glob-based loader; anything else (permissions, not-a-dir) is real.
+		if os.IsNotExist(err) {
+			return NewDB(), nil
+		}
+		return nil, err
+	}
+	manifests := map[string]bool{} // collection root -> has manifest
+	flats := map[string]bool{}     // collection root -> has flat file
+	orphans := map[string]bool{}   // collection root -> has manifest-less segments
+	for _, e := range entries {
+		name := e.Name()
+		if len(name) > len(manifestSuffix) && name[len(name)-len(manifestSuffix):] == manifestSuffix {
+			manifests[name[:len(name)-len(manifestSuffix)]] = true
+			continue
+		}
+		if filepath.Ext(name) != ".jsonl" {
+			continue
+		}
+		if m := segmentFileRe.FindStringSubmatch(name); m != nil {
+			orphans[m[1]] = true
+			continue
+		}
+		flats[name[:len(name)-len(".jsonl")]] = true
+	}
+	for root := range manifests {
+		delete(orphans, root) // covered by a manifest: not orphans
+		delete(flats, root)   // stale flat next to a committed manifest
+	}
+	for root := range orphans {
+		if !flats[root] {
+			return nil, fmt.Errorf(
+				"docstore: %s: segment files without a manifest or flat %s.jsonl — a save crashed before committing; restore the manifest or delete the segments",
+				dir, root)
+		}
+		// A flat file plus manifest-less segments: the segments are from a
+		// save that never committed; the flat file is authoritative.
+	}
+
+	roots := make([]string, 0, len(manifests)+len(flats))
+	for root := range manifests {
+		roots = append(roots, root)
+	}
+	for root := range flats {
+		roots = append(roots, root)
+	}
+	sort.Strings(roots)
+
+	db := NewDB()
+	for _, root := range roots {
+		c := db.Collection(root)
+		if manifests[root] {
+			if err := c.loadSegmented(dir, opts); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := c.LoadFile(filepath.Join(dir, root+".jsonl")); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// loadSegmented reads the collection's manifest and segments from dir,
+// decoding segments on a worker pool and inserting in segment order.
+func (c *Collection) loadSegmented(dir string, opts LoadOpts) error {
+	manPath := filepath.Join(dir, c.name+manifestSuffix)
+	raw, err := os.ReadFile(manPath)
+	if err != nil {
+		return err
+	}
+	var man segmentManifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return fmt.Errorf("docstore: %s: %w", manPath, err)
+	}
+	if man.Version != manifestVersion {
+		return fmt.Errorf("docstore: %s: manifest version %d not supported (want %d)",
+			manPath, man.Version, manifestVersion)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, len(man.Segments))
+
+	segDocs := make([][]Document, len(man.Segments))
+	errs := make([]error, len(man.Segments))
+	var bytesRead int64
+	var bytesMu sync.Mutex
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				var n int64
+				segDocs[i], n, errs[i] = readSegment(dir, man.Segments[i])
+				bytesMu.Lock()
+				bytesRead += n
+				bytesMu.Unlock()
+			}
+		}()
+	}
+	for i := range man.Segments {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Sequential insert in segment order rebuilds the exact document order
+	// (and therefore index contents) of the flat path.
+	total := 0
+	for i, docs := range segDocs {
+		for j, d := range docs {
+			if err := c.Insert(d); err != nil {
+				return fmt.Errorf("docstore: %s line %d: %w",
+					filepath.Join(dir, man.Segments[i].File), j+1, err)
+			}
+		}
+		total += len(docs)
+	}
+	if total != man.Docs {
+		return fmt.Errorf("docstore: %s: manifest promises %d documents, segments hold %d",
+			manPath, man.Docs, total)
+	}
+
+	o := opts.Observer
+	addN(o, CounterSegmentsRead, int64(len(man.Segments)))
+	addN(o, CounterDocsRead, int64(total))
+	addN(o, CounterBytesRead, bytesRead)
+	return nil
+}
+
+// readSegment reads and decodes one segment file, verifying its byte count
+// and CRC against the manifest entry first — a mismatch means the segment
+// is torn or from a different save generation, and loading it would mix
+// states.
+func readSegment(dir string, info segmentInfo) ([]Document, int64, error) {
+	path := filepath.Join(dir, info.File)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if int64(len(raw)) != info.Bytes {
+		return nil, int64(len(raw)), fmt.Errorf(
+			"docstore: %s: %d bytes on disk, manifest promises %d — torn or mixed-generation segment",
+			path, len(raw), info.Bytes)
+	}
+	if crc := crc32.ChecksumIEEE(raw); crc != info.CRC32 {
+		return nil, int64(len(raw)), fmt.Errorf(
+			"docstore: %s: CRC mismatch (%08x on disk, manifest promises %08x) — torn or mixed-generation segment",
+			path, crc, info.CRC32)
+	}
+	docs := make([]Document, 0, info.Docs)
+	line := 0
+	for len(raw) > 0 {
+		nl := bytes.IndexByte(raw, '\n')
+		var rec []byte
+		if nl < 0 {
+			rec, raw = raw, nil
+		} else {
+			rec, raw = raw[:nl], raw[nl+1:]
+		}
+		if len(bytes.TrimSpace(rec)) == 0 {
+			continue
+		}
+		line++
+		var d Document
+		if err := json.Unmarshal(rec, &d); err != nil {
+			return nil, info.Bytes, fmt.Errorf("docstore: %s line %d: %w", path, line, err)
+		}
+		normalize(d)
+		docs = append(docs, d)
+	}
+	if len(docs) != info.Docs {
+		return nil, info.Bytes, fmt.Errorf(
+			"docstore: %s: %d documents on disk, manifest promises %d — torn or mixed-generation segment",
+			path, len(docs), info.Docs)
+	}
+	return docs, info.Bytes, nil
+}

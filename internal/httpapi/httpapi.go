@@ -29,9 +29,10 @@ import (
 // Config tunes the middleware around the handlers; the zero value of a
 // field means "use the default below".
 type Config struct {
-	Timeout     time.Duration // per-request deadline (default 10s; <0 disables)
-	MaxInflight int           // in-flight request cap (default 256; <0 disables)
-	Logger      *slog.Logger  // request logger (default slog.Default())
+	Timeout      time.Duration // per-request deadline (default 10s; <0 disables)
+	MaxInflight  int           // in-flight request cap (default 256; <0 disables)
+	Logger       *slog.Logger  // request logger (default slog.Default())
+	StoreWorkers int           // workers for parallel store scans (default/0: all cores)
 }
 
 // Option mutates the Config inside New.
@@ -46,13 +47,18 @@ func WithMaxInflight(n int) Option { return func(c *Config) { c.MaxInflight = n 
 // WithLogger sets the structured request logger.
 func WithLogger(l *slog.Logger) Option { return func(c *Config) { c.Logger = l } }
 
+// WithStoreWorkers sets the worker count for parallel document-store scans
+// (the /v1/clusters/summary aggregation); n <= 0 selects GOMAXPROCS.
+func WithStoreWorkers(n int) Option { return func(c *Config) { c.StoreWorkers = n } }
+
 // Server wraps a dataset and its document database for serving.
 type Server struct {
-	ds      *core.Dataset
-	db      *docstore.DB
-	mux     *http.ServeMux
-	metrics *obs.Metrics
-	handler http.Handler
+	ds           *core.Dataset
+	db           *docstore.DB
+	mux          *http.ServeMux
+	metrics      *obs.Metrics
+	handler      http.Handler
+	storeWorkers int
 }
 
 // route is one registered endpoint, relative to the /v1 prefix. Resources
@@ -84,9 +90,15 @@ func New(ds *core.Dataset, opts ...Option) *Server {
 	clusters.CreateOrderedIndex("heterogeneity")
 	clusters.CreateOrderedIndex("size")
 
-	s := &Server{ds: ds, db: db, mux: http.NewServeMux(), metrics: obs.NewMetrics()}
+	s := &Server{ds: ds, db: db, mux: http.NewServeMux(), metrics: obs.NewMetrics(),
+		storeWorkers: cfg.StoreWorkers}
+	// Store counters (pipeline runs, pushdown hits, documents cloned) land
+	// in the same registry as the request metrics, so GET /metrics covers
+	// the query layer too.
+	db.SetObserver(s.metrics)
 	s.register(s.metaRoutes())
 	s.register(s.clusterRoutes())
+	s.register(s.summaryRoutes())
 	s.mux.Handle("GET /metrics", s.metrics.Handler())
 
 	s.handler = obs.Chain(http.HandlerFunc(s.dispatch),

@@ -1,0 +1,129 @@
+package httpapi
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestClusterSummary(t *testing.T) {
+	ds := testDataset(t)
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	// The aggregation must not depend on the scan's worker count.
+	var ref map[string]any
+	for _, workers := range []int{1, 2, 7} {
+		srv := httptest.NewServer(New(ds, WithLogger(logger), WithStoreWorkers(workers)))
+		var got map[string]any
+		if code := getJSON(t, srv.URL+"/v1/clusters/summary", &got); code != 200 {
+			t.Fatalf("workers=%d: summary code = %d", workers, code)
+		}
+		srv.Close()
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d: summary diverged from workers=1:\n%v\nvs\n%v", workers, got, ref)
+		}
+	}
+
+	clusters, _ := ref["clusters"].(float64)
+	records, _ := ref["records"].(float64)
+	if clusters <= 0 || records < clusters {
+		t.Fatalf("summary counts look wrong: %v clusters, %v records", clusters, records)
+	}
+	if _, ok := ref["size"].(map[string]any); !ok {
+		t.Error("summary misses the size block")
+	}
+	plaus, ok := ref["plausibility"].(map[string]any)
+	if !ok {
+		t.Fatal("summary misses the plausibility block")
+	}
+	for _, k := range []string{"count", "min", "max", "p10", "p50", "p90"} {
+		if _, ok := plaus[k]; !ok {
+			t.Errorf("plausibility summary misses %q", k)
+		}
+	}
+	lo, _ := plaus["p10"].(float64)
+	mid, _ := plaus["p50"].(float64)
+	hi, _ := plaus["p90"].(float64)
+	if lo > mid || mid > hi {
+		t.Errorf("quantiles out of order: p10=%v p50=%v p90=%v", lo, mid, hi)
+	}
+}
+
+func TestSummaryDoesNotShadowClusterLookup(t *testing.T) {
+	// "/clusters/summary" is more specific than "/clusters/{ncid}"; both
+	// must keep working side by side.
+	srv := testServer(t)
+	var list page
+	getJSON(t, srv.URL+"/v1/clusters?limit=1", &list)
+	if len(list.Items) == 0 {
+		t.Fatal("no clusters to look up")
+	}
+	ncid, _ := list.Items[0]["ncid"].(string)
+	var doc map[string]any
+	if code := getJSON(t, srv.URL+"/v1/clusters/"+ncid, &doc); code != 200 {
+		t.Fatalf("cluster lookup = %d", code)
+	}
+	var sum map[string]any
+	if code := getJSON(t, srv.URL+"/v1/clusters/summary", &sum); code != 200 {
+		t.Fatalf("summary = %d", code)
+	}
+	if _, ok := sum["clusters"]; !ok {
+		t.Error("summary response misses the clusters count")
+	}
+}
+
+func TestSummarySizeFilter(t *testing.T) {
+	srv := testServer(t)
+	var all, filtered map[string]any
+	getJSON(t, srv.URL+"/v1/clusters/summary", &all)
+	if code := getJSON(t, srv.URL+"/v1/clusters/summary?minSize=2", &filtered); code != 200 {
+		t.Fatalf("filtered summary code = %d", code)
+	}
+	allN, _ := all["clusters"].(float64)
+	fN, _ := filtered["clusters"].(float64)
+	if fN <= 0 || fN > allN {
+		t.Fatalf("filtered clusters = %v, all = %v", fN, allN)
+	}
+	if size, ok := filtered["size"].(map[string]any); ok {
+		if lo, _ := size["min"].(float64); lo < 2 {
+			t.Errorf("minSize=2 returned a cluster of size %v", lo)
+		}
+	}
+	var bad map[string]any
+	if code := getJSON(t, srv.URL+"/v1/clusters/summary?minSize=two", &bad); code != 400 {
+		t.Errorf("malformed minSize code = %d, want 400", code)
+	}
+}
+
+func TestDocstoreCountersReachMetrics(t *testing.T) {
+	// The size-filtered summary runs a Pipeline whose Match pushes down to
+	// the ordered size index; the resulting docstore counters must land in
+	// the server's metrics registry via the DB observer wiring.
+	srv := testServer(t)
+	var sum map[string]any
+	getJSON(t, srv.URL+"/v1/clusters/summary?minSize=1", &sum)
+
+	resp, err := http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		`docstore_pipeline_total{counter="pipeline_runs"} 1`,
+		`docstore_pipeline_total{counter="pushdown_hits"} 1`,
+		`docstore_pipeline_total{counter="docs_cloned"}`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("prometheus output misses %q:\n%s", want, text)
+		}
+	}
+}

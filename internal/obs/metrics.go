@@ -80,7 +80,9 @@ func (m *Metrics) Inc(counter string) {
 // batch producers — notably the parallel ingest pipeline, whose ingest_*
 // counters (rows decoded, records added, duplicates removed, per-stage
 // stall milliseconds) land here so GET /metrics covers ingest alongside
-// serving. Metrics satisfies core.IngestObserver through this method.
+// serving, and the document store, whose docstore_* persistence and
+// pipeline counters arrive the same way. Metrics satisfies
+// core.IngestObserver and docstore.StoreObserver through this method.
 func (m *Metrics) AddN(counter string, n int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -189,16 +191,18 @@ func (m *Metrics) PrometheusText() string {
 	fmt.Fprintf(&b, "# TYPE http_requests_in_flight gauge\n")
 	fmt.Fprintf(&b, "http_requests_in_flight %d\n", snap.InFlight)
 
-	// Counters split into three families: the ingest pipeline's ingest_*
-	// counters, the scoring engine's score_* counters, and the middleware's
-	// serving events.
-	var eventNames, ingestNames, scoreNames []string
+	// Counters split into four families: the ingest pipeline's ingest_*
+	// counters, the scoring engine's score_* counters, the document store's
+	// docstore_* counters, and the middleware's serving events.
+	var eventNames, ingestNames, scoreNames, docstoreNames []string
 	for name := range snap.Counters {
 		switch {
 		case strings.HasPrefix(name, "ingest_"):
 			ingestNames = append(ingestNames, name)
 		case strings.HasPrefix(name, "score_"):
 			scoreNames = append(scoreNames, name)
+		case strings.HasPrefix(name, "docstore_"):
+			docstoreNames = append(docstoreNames, name)
 		default:
 			eventNames = append(eventNames, name)
 		}
@@ -206,6 +210,7 @@ func (m *Metrics) PrometheusText() string {
 	sort.Strings(eventNames)
 	sort.Strings(ingestNames)
 	sort.Strings(scoreNames)
+	sort.Strings(docstoreNames)
 	fmt.Fprintf(&b, "# HELP http_server_events_total Middleware events (panics, timeouts, shed).\n")
 	fmt.Fprintf(&b, "# TYPE http_server_events_total counter\n")
 	for _, name := range eventNames {
@@ -223,6 +228,14 @@ func (m *Metrics) PrometheusText() string {
 		fmt.Fprintf(&b, "# TYPE score_pipeline_total counter\n")
 		for _, name := range scoreNames {
 			fmt.Fprintf(&b, "score_pipeline_total{counter=%q} %d\n", strings.TrimPrefix(name, "score_"), snap.Counters[name])
+		}
+	}
+
+	if len(docstoreNames) > 0 {
+		fmt.Fprintf(&b, "# HELP docstore_pipeline_total Document store counters (segments and bytes saved/loaded, pipeline runs, index-pushdown hits, documents scanned/cloned).\n")
+		fmt.Fprintf(&b, "# TYPE docstore_pipeline_total counter\n")
+		for _, name := range docstoreNames {
+			fmt.Fprintf(&b, "docstore_pipeline_total{counter=%q} %d\n", strings.TrimPrefix(name, "docstore_"), snap.Counters[name])
 		}
 	}
 

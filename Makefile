@@ -1,11 +1,13 @@
 # Development targets. `make ci` is the gate: gofmt + vet + build +
-# race-enabled tests over every package + the docs-link check.
+# race-enabled tests over every package + the conformance harness, the
+# fuzz smoke pass, the coverage floors and the docs-link check.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race test-short serve-race ingest-race score-race docstore-race bench-matching bench-docstore docs
+.PHONY: ci fmt vet build test race test-short serve-race ingest-race score-race docstore-race conformance fuzz-smoke cover bench-matching bench-docstore docs
 
-ci: fmt vet build race docs score-race docstore-race bench-docstore
+ci: fmt vet build race docs conformance fuzz-smoke cover score-race docstore-race bench-docstore
 
 # Fail when any tracked Go file is not gofmt-clean.
 fmt:
@@ -54,6 +56,43 @@ score-race:
 docstore-race:
 	$(GO) test -race -run 'TestSaveLoadParallel|TestSaveParallel|TestLoadParallel|TestLoadRejects|TestLoadSkips|TestSegmented|TestPipeline|TestForEachParallel|TestFromDocDBParallel' \
 		./internal/docstore ./internal/core
+
+# The unified conformance harness (docs/TESTING.md): the three differential
+# oracles — ingest, scoring, docstore — through internal/testkit under the
+# race detector, plus the fault-injection sweep, the examples smoke test
+# and the shared scanner-limit regression.
+conformance:
+	$(GO) test -race ./internal/testkit ./internal/scanio
+
+# Every native fuzz target, seeds plus $(FUZZTIME) of live fuzzing each.
+# `make fuzz-smoke FUZZTIME=10m` digs deeper on one coffee break.
+FUZZ_TARGETS = \
+	FuzzParseHeader:./internal/voter \
+	FuzzDecodeRow:./internal/voter \
+	FuzzStreamTSV:./internal/voter \
+	FuzzLoadFile:./internal/docstore \
+	FuzzLoadSegmented:./internal/docstore \
+	FuzzStringKernels:./internal/simil \
+	FuzzTokenKernels:./internal/simil
+
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		name=$${t%%:*}; pkg=$${t##*:}; \
+		echo "==> fuzz $$name ($$pkg, $(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$name$$" -fuzztime $(FUZZTIME) $$pkg; \
+	done
+
+# Per-package coverage floors (coverage_floors.txt). The floors are a
+# ratchet: raise them when coverage rises, never lower them to ship.
+cover:
+	@fail=0; while read -r pkg floor; do \
+		case "$$pkg" in ''|\#*) continue;; esac; \
+		pct=$$($(GO) test -cover "$$pkg" | tail -1 | grep -oE '[0-9]+\.[0-9]+% of statements' | grep -oE '^[0-9]+\.[0-9]+'); \
+		if [ -z "$$pct" ]; then echo "FAIL $$pkg: no coverage reported"; fail=1; continue; fi; \
+		if awk -v p="$$pct" -v f="$$floor" 'BEGIN{exit !(p >= f)}'; then \
+			echo "ok   $$pkg $$pct% (floor $$floor%)"; \
+		else echo "FAIL $$pkg $$pct% under floor $$floor%"; fail=1; fi; \
+	done < coverage_floors.txt; exit $$fail
 
 # Matching-throughput ladder (pairs/sec per measure, legacy vs engine) —
 # the numbers behind the EXPERIMENTS.md matching section.

@@ -8,19 +8,20 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"repro/internal/scanio"
 )
 
 // Buffer sizes of the JSON-lines codec. A cluster document embeds every
 // record of the cluster, so single lines grow far past bufio's 64 KiB
-// default; loadMaxLineBytes bounds them at 64 MiB, mirroring the voter TSV
-// reader's ScanBufferBytes/MaxLineBytes pair.
+// default; loadMaxLineBytes bounds them at 64 MiB. The limits live in
+// internal/scanio next to the voter TSV reader's pair so the two
+// line-oriented readers share one buffer geometry.
 const (
 	// saveBufferBytes sizes the buffered writer of flat saves.
 	saveBufferBytes = 1 << 16
-	// loadScanBufferBytes is the scanner's initial buffer.
-	loadScanBufferBytes = 1 << 16
 	// loadMaxLineBytes is the largest single document line a load accepts.
-	loadMaxLineBytes = 1 << 26
+	loadMaxLineBytes = scanio.MaxDocLineBytes
 )
 
 // DB is a set of named collections with JSON-lines persistence. Each
@@ -141,8 +142,7 @@ func (c *Collection) LoadFile(path string) error {
 		return err
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, loadScanBufferBytes), loadMaxLineBytes)
+	sc := scanio.NewScanner(f, loadMaxLineBytes)
 	line := 0
 	for sc.Scan() {
 		line++

@@ -259,3 +259,55 @@ func TestSaveUnencodableValueCleansUp(t *testing.T) {
 		t.Error("failed save created a partial target file")
 	}
 }
+
+// Manifest validation regressions, found by FuzzLoadSegmented (the crashing
+// inputs are kept as seeds under testdata/fuzz/FuzzLoadSegmented): hostile
+// numbers and file names in a manifest must be rejected before any
+// allocation or file access is sized from them.
+
+// writeManifest replaces the store's manifest with raw bytes.
+func writeManifest(t *testing.T, dir, collection string, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, collection+manifestSuffix), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsNegativeManifestDocs(t *testing.T) {
+	// Pre-fix, docs:-1 reached make([]Document, 0, -1) in readSegment and
+	// panicked with "makeslice: cap out of range".
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "c.00.jsonl"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeManifest(t, dir, "c",
+		`{"version":1,"collection":"c","docs":-1,"segments":[{"file":"c.00.jsonl","docs":-1,"bytes":0,"crc32":0}]}`)
+	if _, err := LoadParallel(dir); err == nil {
+		t.Fatal("negative-docs manifest loaded silently")
+	}
+}
+
+func TestLoadRejectsImpossibleManifestDocCount(t *testing.T) {
+	// More documents than bytes/2+1 cannot exist; pre-fix the count sized an
+	// unbounded decode allocation.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "c.00.jsonl"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeManifest(t, dir, "c",
+		`{"version":1,"collection":"c","docs":1000000000000,"segments":[{"file":"c.00.jsonl","docs":1000000000000,"bytes":0,"crc32":0}]}`)
+	if _, err := LoadParallel(dir); err == nil || !strings.Contains(err.Error(), "impossible") {
+		t.Fatalf("impossible doc count: got %v, want validation error", err)
+	}
+}
+
+func TestLoadRejectsEscapingSegmentFileName(t *testing.T) {
+	// A manifest must not be able to point the loader at files outside its
+	// own store directory.
+	dir := t.TempDir()
+	writeManifest(t, dir, "c",
+		`{"version":1,"collection":"c","docs":0,"segments":[{"file":"../../../etc/passwd","docs":0,"bytes":0,"crc32":0}]}`)
+	if _, err := LoadParallel(dir); err == nil || !strings.Contains(err.Error(), "store directory") {
+		t.Fatalf("escaping file name: got %v, want validation error", err)
+	}
+}

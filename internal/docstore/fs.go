@@ -1,0 +1,53 @@
+package docstore
+
+import (
+	"io/fs"
+	"os"
+)
+
+// FS is the slice of the filesystem the segmented persistence path touches.
+// Production code runs on OSFS; the conformance harness (internal/testkit)
+// substitutes a fault-injecting implementation to exercise crash safety
+// against *dynamic* failures — short writes, torn renames, EIO on the Nth
+// operation, dropped page-cache writes — instead of only statically
+// corrupted fixtures. Save/Load semantics must hold for any conforming FS:
+// the manifest rename is the commit point, and a failed save must leave a
+// directory that either loads the previous complete state or fails loudly.
+type FS interface {
+	// MkdirAll is os.MkdirAll.
+	MkdirAll(path string, perm fs.FileMode) error
+	// WriteFile is os.WriteFile.
+	WriteFile(path string, data []byte, perm fs.FileMode) error
+	// Rename is os.Rename; it must be atomic with respect to crashes for
+	// same-directory renames, as on POSIX filesystems.
+	Rename(oldpath, newpath string) error
+	// Remove is os.Remove.
+	Remove(path string) error
+	// ReadFile is os.ReadFile.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir is os.ReadDir.
+	ReadDir(path string) ([]os.DirEntry, error)
+}
+
+// OSFS is the real filesystem — the default when SaveOpts.FS or LoadOpts.FS
+// is nil.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(path, data, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                   { return os.Remove(path) }
+func (osFS) ReadFile(path string) ([]byte, error)       { return os.ReadFile(path) }
+func (osFS) ReadDir(path string) ([]os.DirEntry, error) { return os.ReadDir(path) }
+
+// fsOrDefault resolves a possibly-nil FS option to OSFS.
+func fsOrDefault(f FS) FS {
+	if f == nil {
+		return OSFS
+	}
+	return f
+}

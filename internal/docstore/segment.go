@@ -80,6 +80,9 @@ type SaveOpts struct {
 	Segments int
 	// Observer receives the docstore_* persistence counters; nil drops them.
 	Observer StoreObserver
+	// FS substitutes the filesystem the save runs on; nil selects OSFS.
+	// The conformance harness injects failures here.
+	FS FS
 }
 
 // LoadOpts configures LoadParallelOpts.
@@ -88,6 +91,47 @@ type LoadOpts struct {
 	Workers int
 	// Observer receives the docstore_* persistence counters; nil drops them.
 	Observer StoreObserver
+	// FS substitutes the filesystem the segmented load reads from; nil
+	// selects OSFS. Flat .jsonl files always read through the OS.
+	FS FS
+}
+
+// validate rejects structurally malformed manifests before any allocation
+// or file access is sized from their fields. Found by FuzzLoadSegmented: a
+// manifest carrying docs:-1 drove make([]Document, 0, -1) in readSegment
+// into a makeslice panic, an absurd docs count drove an unbounded
+// allocation, and a file name with path separators let a manifest read
+// files outside its own store directory. The crashing inputs are kept as
+// regression seeds under testdata/fuzz/FuzzLoadSegmented.
+func (m *segmentManifest) validate(manPath string) error {
+	if m.Docs < 0 {
+		return fmt.Errorf("docstore: %s: manifest promises %d documents", manPath, m.Docs)
+	}
+	total := 0
+	for i, info := range m.Segments {
+		if info.Docs < 0 || info.Bytes < 0 {
+			return fmt.Errorf("docstore: %s: segment %d promises %d documents in %d bytes",
+				manPath, i, info.Docs, info.Bytes)
+		}
+		// The smallest document line is "{}\n" less the optional trailing
+		// newline: two bytes. More documents than bytes/2+1 cannot fit, so
+		// the counts are lies and the decode allocation would be sized from
+		// them.
+		if int64(info.Docs) > info.Bytes/2+1 {
+			return fmt.Errorf("docstore: %s: segment %d promises %d documents in %d bytes — impossible",
+				manPath, i, info.Docs, info.Bytes)
+		}
+		if info.File == "" || filepath.Base(info.File) != info.File {
+			return fmt.Errorf("docstore: %s: segment %d names %q — segment files must live in the store directory",
+				manPath, i, info.File)
+		}
+		total += info.Docs
+	}
+	if total != m.Docs {
+		return fmt.Errorf("docstore: %s: manifest promises %d documents, segments sum to %d",
+			manPath, m.Docs, total)
+	}
+	return nil
 }
 
 // segmentBufPool recycles encode/decode buffers across segments and saves.
@@ -107,7 +151,7 @@ func (db *DB) SaveParallel(dir string) error {
 // left-over segments from earlier saves are removed after the manifest
 // commits.
 func (db *DB) SaveParallelOpts(dir string, opts SaveOpts) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsOrDefault(opts.FS).MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	for _, name := range db.CollectionNames() {
@@ -158,6 +202,7 @@ func segmentFileName(name string, i int) string {
 
 // saveSegmented writes the collection as segments plus a manifest into dir.
 func (c *Collection) saveSegmented(dir string, opts SaveOpts) error {
+	fsys := fsOrDefault(opts.FS)
 	docs := c.snapshotDocs()
 	n := segmentCount(len(docs), opts.Segments)
 	workers := opts.Workers
@@ -179,7 +224,7 @@ func (c *Collection) saveSegmented(dir string, opts SaveOpts) error {
 			for i := range jobs {
 				lo, hi := i*len(docs)/n, (i+1)*len(docs)/n
 				infos[i], errs[i] = writeSegment(
-					filepath.Join(dir, segmentFileName(c.name, i)), docs[lo:hi])
+					fsys, filepath.Join(dir, segmentFileName(c.name, i)), docs[lo:hi])
 			}
 		}()
 	}
@@ -208,19 +253,19 @@ func (c *Collection) saveSegmented(dir string, opts SaveOpts) error {
 	}
 	manPath := filepath.Join(dir, c.name+manifestSuffix)
 	tmp := manPath + ".tmp"
-	if err := os.WriteFile(tmp, append(body, '\n'), 0o644); err != nil {
-		os.Remove(tmp)
+	if err := fsys.WriteFile(tmp, append(body, '\n'), 0o644); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, manPath); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, manPath); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
 
 	// Post-commit cleanup: the flat file and any higher-numbered segments
 	// from an earlier, wider save are stale now.
-	os.Remove(filepath.Join(dir, c.name+".jsonl"))
-	removeStaleSegments(dir, c.name, n)
+	fsys.Remove(filepath.Join(dir, c.name+".jsonl"))
+	removeStaleSegments(fsys, dir, c.name, n)
 
 	o := opts.Observer
 	addN(o, CounterSegmentsWritten, int64(n))
@@ -235,7 +280,7 @@ func (c *Collection) saveSegmented(dir string, opts SaveOpts) error {
 
 // writeSegment encodes docs into a pooled buffer and writes them to path via
 // a temporary file and rename.
-func writeSegment(path string, docs []Document) (segmentInfo, error) {
+func writeSegment(fsys FS, path string, docs []Document) (segmentInfo, error) {
 	buf := segmentBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer segmentBufPool.Put(buf)
@@ -246,12 +291,12 @@ func writeSegment(path string, docs []Document) (segmentInfo, error) {
 		}
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
-		os.Remove(tmp)
+	if err := fsys.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		fsys.Remove(tmp)
 		return segmentInfo{}, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return segmentInfo{}, err
 	}
 	return segmentInfo{
@@ -264,8 +309,8 @@ func writeSegment(path string, docs []Document) (segmentInfo, error) {
 
 // removeStaleSegments deletes segment files of the collection with index >=
 // keep — leftovers from an earlier save that used more segments.
-func removeStaleSegments(dir, name string, keep int) {
-	entries, err := os.ReadDir(dir)
+func removeStaleSegments(fsys FS, dir, name string, keep int) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return
 	}
@@ -275,7 +320,7 @@ func removeStaleSegments(dir, name string, keep int) {
 			continue
 		}
 		if idx, err := strconv.Atoi(m[2]); err == nil && idx >= keep {
-			os.Remove(filepath.Join(dir, e.Name()))
+			fsys.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
 }
@@ -287,7 +332,7 @@ func removeStaleSegments(dir, name string, keep int) {
 // manifest pointing at files a later step deletes.
 func removeSegmentedState(dir, name string) {
 	os.Remove(filepath.Join(dir, name+manifestSuffix))
-	removeStaleSegments(dir, name, 0)
+	removeStaleSegments(OSFS, dir, name, 0)
 }
 
 // LoadParallel reads a directory saved by either Save or SaveParallel into
@@ -306,7 +351,7 @@ func LoadParallel(dir string) (*DB, error) {
 // manifest committed) are skipped when the collection still has its flat
 // file and rejected otherwise.
 func LoadParallelOpts(dir string, opts LoadOpts) (*DB, error) {
-	entries, err := os.ReadDir(dir)
+	entries, err := fsOrDefault(opts.FS).ReadDir(dir)
 	if err != nil {
 		// A missing directory is an empty database, matching the historical
 		// glob-based loader; anything else (permissions, not-a-dir) is real.
@@ -375,8 +420,9 @@ func LoadParallelOpts(dir string, opts LoadOpts) (*DB, error) {
 // loadSegmented reads the collection's manifest and segments from dir,
 // decoding segments on a worker pool and inserting in segment order.
 func (c *Collection) loadSegmented(dir string, opts LoadOpts) error {
+	fsys := fsOrDefault(opts.FS)
 	manPath := filepath.Join(dir, c.name+manifestSuffix)
-	raw, err := os.ReadFile(manPath)
+	raw, err := fsys.ReadFile(manPath)
 	if err != nil {
 		return err
 	}
@@ -387,6 +433,9 @@ func (c *Collection) loadSegmented(dir string, opts LoadOpts) error {
 	if man.Version != manifestVersion {
 		return fmt.Errorf("docstore: %s: manifest version %d not supported (want %d)",
 			manPath, man.Version, manifestVersion)
+	}
+	if err := man.validate(manPath); err != nil {
+		return err
 	}
 
 	workers := opts.Workers
@@ -407,7 +456,7 @@ func (c *Collection) loadSegmented(dir string, opts LoadOpts) error {
 			defer wg.Done()
 			for i := range jobs {
 				var n int64
-				segDocs[i], n, errs[i] = readSegment(dir, man.Segments[i])
+				segDocs[i], n, errs[i] = readSegment(fsys, dir, man.Segments[i])
 				bytesMu.Lock()
 				bytesRead += n
 				bytesMu.Unlock()
@@ -453,9 +502,9 @@ func (c *Collection) loadSegmented(dir string, opts LoadOpts) error {
 // and CRC against the manifest entry first — a mismatch means the segment
 // is torn or from a different save generation, and loading it would mix
 // states.
-func readSegment(dir string, info segmentInfo) ([]Document, int64, error) {
+func readSegment(fsys FS, dir string, info segmentInfo) ([]Document, int64, error) {
 	path := filepath.Join(dir, info.File)
-	raw, err := os.ReadFile(path)
+	raw, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/scanio"
 )
 
 // The tentpole invariant: SaveParallel/LoadParallel must reconstruct a
@@ -327,12 +329,12 @@ func TestSegmentedSaveLoadCounters(t *testing.T) {
 
 func TestLoadFileLongLine(t *testing.T) {
 	// Regression test for the named scanner buffer constants: a document
-	// line past loadScanBufferBytes must load, one past loadMaxLineBytes
-	// must fail loudly with bufio.ErrTooLong, mirroring the voter TSV
-	// reader's long-line test.
+	// line past scanio.InitialBufferBytes must load, one past
+	// loadMaxLineBytes must fail loudly with bufio.ErrTooLong, mirroring
+	// the voter TSV reader's long-line test.
 	dir := t.TempDir()
 	path := filepath.Join(dir, "long.jsonl")
-	long := fmt.Sprintf("{\"_id\":\"big\",\"v\":%q}\n", strings.Repeat("A", 4*loadScanBufferBytes))
+	long := fmt.Sprintf("{\"_id\":\"big\",\"v\":%q}\n", strings.Repeat("A", 4*scanio.InitialBufferBytes))
 	if err := os.WriteFile(path, []byte("{\"_id\":\"a\"}\n"+long), 0o644); err != nil {
 		t.Fatal(err)
 	}

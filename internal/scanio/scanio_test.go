@@ -1,0 +1,99 @@
+package scanio_test
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/docstore"
+	"repro/internal/scanio"
+	"repro/internal/voter"
+)
+
+// TestSharedLimitsLongLine is the single long-line regression test covering
+// both consumers of the shared buffer geometry: the voter TSV reader and
+// the docstore JSON-lines loader. One corpus, two readers — a line past the
+// 64 KiB initial buffer must be accepted by both, the TSV cap must reject a
+// row past MaxTSVLineBytes, and a JSON-lines document of the same size must
+// still load because the docstore cap is deliberately wider.
+func TestSharedLimitsLongLine(t *testing.T) {
+	const big = scanio.MaxTSVLineBytes + 1024 // past the TSV cap, far under the doc cap
+	payload := strings.Repeat("A", big)
+
+	// Consumer 1: voter.StreamTSV. A 1 MiB value streams; a value pushing
+	// the row past MaxTSVLineBytes fails with bufio.ErrTooLong.
+	okRow := tsvSnapshot(t, strings.Repeat("A", 1<<20))
+	n, err := voter.StreamTSV(bytes.NewReader(okRow), func(voter.Record) error { return nil })
+	if err != nil || n != 3 {
+		t.Fatalf("voter: 1 MiB row: n=%d err=%v", n, err)
+	}
+	overRow := tsvSnapshot(t, payload)
+	if _, err := voter.StreamTSV(bytes.NewReader(overRow), func(voter.Record) error { return nil }); !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("voter: over-cap row: got %v, want bufio.ErrTooLong", err)
+	}
+
+	// Consumer 2: docstore LoadFile. The same payload that overflows the
+	// TSV cap fits a document line (MaxDocLineBytes is 16x wider).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.jsonl")
+	doc := fmt.Sprintf("{\"_id\":\"big\",\"v\":%q}\n", payload)
+	if len(doc) <= scanio.MaxTSVLineBytes || len(doc) >= scanio.MaxDocLineBytes {
+		t.Fatalf("test corpus does not sit between the two caps: %d", len(doc))
+	}
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := docstore.NewCollection("c")
+	if err := c.LoadFile(path); err != nil {
+		t.Fatalf("docstore: %d-byte line: %v", len(doc), err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("docstore: loaded %d docs, want 1", c.Len())
+	}
+}
+
+// TestNewScannerCap pins NewScanner's cap behavior without multi-megabyte
+// corpora: a scanner built for a small cap accepts a line just under the
+// cap (the buffer must also hold the not-yet-consumed newline) and rejects
+// one past it.
+func TestNewScannerCap(t *testing.T) {
+	const cap = 128
+	at := strings.Repeat("x", cap-1)
+	sc := scanio.NewScanner(strings.NewReader(at+"\n"), cap)
+	if !sc.Scan() || sc.Text() != at {
+		t.Fatalf("line under cap rejected: %v", sc.Err())
+	}
+	over := strings.Repeat("x", cap+1)
+	sc = scanio.NewScanner(strings.NewReader(over+"\n"), cap)
+	for sc.Scan() {
+	}
+	if !errors.Is(sc.Err(), bufio.ErrTooLong) {
+		t.Fatalf("line past cap: got %v, want bufio.ErrTooLong", sc.Err())
+	}
+}
+
+// tsvSnapshot renders a 3-record snapshot whose middle record carries one
+// value of the given size (the tsv_long_test.go shape).
+func tsvSnapshot(t *testing.T, v string) []byte {
+	t.Helper()
+	snap := voter.Snapshot{Date: "2012-11-06"}
+	for i := 0; i < 3; i++ {
+		r := voter.NewRecord()
+		r.SetName("ncid", fmt.Sprintf("ZZ00000%d", i+1))
+		r.SetName("snapshot_dt", "2012-11-06")
+		if i == 1 {
+			r.SetName("street_name", v)
+		}
+		snap.Records = append(snap.Records, r)
+	}
+	var buf bytes.Buffer
+	if err := voter.WriteTSV(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,277 @@
+package testkit_test
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dedup"
+	"repro/internal/docstore"
+	"repro/internal/hetero"
+	"repro/internal/plaus"
+	"repro/internal/testkit"
+)
+
+// This file is the unified conformance suite: the three pipeline stages —
+// snapshot ingest, pair scoring, docstore persistence — each run through
+// the same testkit.Differential runner against the same seeded corpus.
+// `make conformance` executes it under the race detector.
+
+// ingestResult is what ingest equivalence means: identical per-file import
+// statistics and an identical dataset (clusters, order, hashes, derived
+// tables — reflect.DeepEqual sees every unexported field).
+type ingestResult struct {
+	Stats   []core.ImportStats
+	Dataset *core.Dataset
+}
+
+func TestConformanceIngest(t *testing.T) {
+	corpus := testkit.Corpus{Seed: 42}
+	paths := corpus.SnapshotFiles(t, 150, 4)
+	for _, mode := range []core.RemovalMode{core.RemoveNone, core.RemoveTrimmed} {
+		mode := mode
+		testkit.Differential[ingestResult]{
+			Name: "ingest/" + mode.String(),
+			Sequential: func(tb testing.TB) ingestResult {
+				d := core.NewDataset(mode)
+				var stats []core.ImportStats
+				for _, p := range paths {
+					st, err := d.ImportSnapshotFile(p)
+					if err != nil {
+						tb.Fatalf("sequential import %s: %v", p, err)
+					}
+					stats = append(stats, st)
+				}
+				d.Publish()
+				return ingestResult{stats, d}
+			},
+			Parallel: func(tb testing.TB, workers int) ingestResult {
+				d := core.NewDataset(mode)
+				var stats []core.ImportStats
+				for _, p := range paths {
+					// The tiny chunk size forces many blocks per file so
+					// reordering and shard routing are actually exercised.
+					st, err := d.ImportSnapshotFileParallelOpts(p, core.IngestOptions{Workers: workers, ChunkBytes: 1 << 12})
+					if err != nil {
+						tb.Fatalf("parallel import %s: %v", p, err)
+					}
+					stats = append(stats, st)
+				}
+				d.Publish()
+				return ingestResult{stats, d}
+			},
+		}.Run(t)
+	}
+}
+
+// requireCurvesIdentical compares evaluation curves at float-bit level: the
+// sequential-vs-parallel contract is exact equality, not tolerance.
+func requireCurvesIdentical(tb testing.TB, want, got dedup.Curve) {
+	tb.Helper()
+	if got.Dataset != want.Dataset || got.Measure != want.Measure || len(got.Points) != len(want.Points) {
+		tb.Fatalf("curve shape differs: %s/%s %d points vs %s/%s %d points",
+			got.Dataset, got.Measure, len(got.Points), want.Dataset, want.Measure, len(want.Points))
+	}
+	for i := range want.Points {
+		w, g := want.Points[i], got.Points[i]
+		for _, pair := range [][2]float64{
+			{w.Threshold, g.Threshold}, {w.Precision, g.Precision}, {w.Recall, g.Recall}, {w.F1, g.F1},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				tb.Fatalf("curve %s point %d differs: %+v vs %+v", want.Measure, i, g, w)
+			}
+		}
+	}
+}
+
+func TestConformanceScoringCurves(t *testing.T) {
+	corpus := testkit.Corpus{Seed: 7}
+	ds := corpus.DedupDataset(t, 120, 3, 80, 40)
+	if ds.NumRecords() == 0 {
+		t.Fatal("corpus produced an empty dedup dataset")
+	}
+	candidates := dedup.SortedNeighborhood(ds, dedup.MostUniqueAttrs(ds, 3), 20)
+	for _, m := range dedup.Measures {
+		m := m
+		testkit.Differential[dedup.Curve]{
+			Name: "score/" + string(m),
+			Sequential: func(tb testing.TB) dedup.Curve {
+				return dedup.EvaluateCandidates(ds, m, candidates, 50)
+			},
+			Parallel: func(tb testing.TB, workers int) dedup.Curve {
+				return dedup.EvaluateCandidatesParallel(ds, m, candidates, 50, dedup.ScoreOpts{Workers: workers})
+			},
+			Compare: func(tb testing.TB, want, got dedup.Curve) {
+				requireCurvesIdentical(tb, want, got)
+			},
+		}.Run(t)
+	}
+}
+
+// scoreFingerprint extracts every stored pair score of one kind, keyed by
+// cluster and pair, so two datasets can be compared after UpdateScores.
+func scoreFingerprint(d *core.Dataset, kind string) map[string]float64 {
+	fp := map[string]float64{}
+	for _, id := range d.NCIDs() {
+		c := d.Cluster(id)
+		for i := 1; i < len(c.Records); i++ {
+			for j := 0; j < i; j++ {
+				if s, ok := c.PairScore(kind, i, j); ok {
+					fp[fmt.Sprintf("%s/%d/%d", id, i, j)] = s
+				}
+			}
+		}
+	}
+	return fp
+}
+
+func TestConformanceClusterScoring(t *testing.T) {
+	corpus := testkit.Corpus{Seed: 11}
+	kinds := []struct {
+		kind    string
+		factory func(d *core.Dataset) func() core.PairScorer
+	}{
+		{core.KindPlausibility, func(*core.Dataset) func() core.PairScorer {
+			return plaus.ScorerFactory()
+		}},
+		{core.KindHeteroPerson, func(d *core.Dataset) func() core.PairScorer {
+			cols := hetero.PersonColumns()
+			return hetero.NewScorer(cols, hetero.DatasetWeights(d, cols)).CorePairScorerFactory()
+		}},
+	}
+	for _, k := range kinds {
+		k := k
+		testkit.Differential[map[string]float64]{
+			Name: "update-scores/" + k.kind,
+			Sequential: func(tb testing.TB) map[string]float64 {
+				d := corpus.Dataset(tb, 100, 3)
+				d.UpdateScores(k.kind, k.factory(d)())
+				return scoreFingerprint(d, k.kind)
+			},
+			Parallel: func(tb testing.TB, workers int) map[string]float64 {
+				d := corpus.Dataset(tb, 100, 3)
+				d.UpdateScoresParallelFactory(k.kind, k.factory(d), workers)
+				return scoreFingerprint(d, k.kind)
+			},
+			Compare: func(tb testing.TB, want, got map[string]float64) {
+				if len(want) == 0 {
+					tb.Fatal("sequential scoring stored no pair scores — fixture too small")
+				}
+				if len(got) != len(want) {
+					tb.Fatalf("stored %d pair scores, want %d", len(got), len(want))
+				}
+				for key, w := range want {
+					g, ok := got[key]
+					if !ok || math.Float64bits(g) != math.Float64bits(w) {
+						tb.Fatalf("pair %s: parallel %v (present=%v) vs sequential %v", key, g, ok, w)
+					}
+				}
+			},
+		}.Run(t)
+	}
+}
+
+// dirBytes reads every regular file of a directory into a name → content
+// map — the byte-identity fingerprint of a persisted store.
+func dirBytes(tb testing.TB, dir string) map[string][]byte {
+	tb.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+func TestConformanceDocstoreSaveBytes(t *testing.T) {
+	corpus := testkit.Corpus{Seed: 3}
+	db := corpus.DocDB(t, 400)
+	save := func(tb testing.TB, workers int) map[string][]byte {
+		dir := tb.TempDir()
+		if err := db.SaveParallelOpts(dir, docstore.SaveOpts{Workers: workers, Segments: 5}); err != nil {
+			tb.Fatalf("save with %d workers: %v", workers, err)
+		}
+		return dirBytes(tb, dir)
+	}
+	testkit.Differential[map[string][]byte]{
+		Name: "docstore/save-bytes",
+		Sequential: func(tb testing.TB) map[string][]byte {
+			return save(tb, 1)
+		},
+		Parallel: func(tb testing.TB, workers int) map[string][]byte {
+			return save(tb, workers)
+		},
+	}.Run(t)
+}
+
+func TestConformanceDocstoreRoundTrip(t *testing.T) {
+	corpus := testkit.Corpus{Seed: 5}
+	db := corpus.DocDB(t, 400)
+	testkit.Differential[map[string]any]{
+		Name: "docstore/round-trip",
+		Sequential: func(tb testing.TB) map[string]any {
+			// The flat single-file format is the reference persistence path.
+			dir := tb.TempDir()
+			if err := db.Save(dir); err != nil {
+				tb.Fatal(err)
+			}
+			loaded, err := docstore.Load(dir)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			return testkit.DocDBFingerprint(loaded)
+		},
+		Parallel: func(tb testing.TB, workers int) map[string]any {
+			dir := tb.TempDir()
+			if err := db.SaveParallelOpts(dir, docstore.SaveOpts{Workers: workers}); err != nil {
+				tb.Fatal(err)
+			}
+			loaded, err := docstore.LoadParallelOpts(dir, docstore.LoadOpts{Workers: workers})
+			if err != nil {
+				tb.Fatal(err)
+			}
+			return testkit.DocDBFingerprint(loaded)
+		},
+	}.Run(t)
+}
+
+func TestConformanceDatasetDocDB(t *testing.T) {
+	corpus := testkit.Corpus{Seed: 13}
+	db := corpus.Dataset(t, 100, 3).ToDocDB()
+	testkit.Differential[*core.Dataset]{
+		Name: "docstore/from-docdb",
+		Sequential: func(tb testing.TB) *core.Dataset {
+			d, err := core.FromDocDB(db)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			return d
+		},
+		Parallel: func(tb testing.TB, workers int) *core.Dataset {
+			d, err := core.FromDocDBParallel(db, workers)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			return d
+		},
+		Compare: func(tb testing.TB, want, got *core.Dataset) {
+			if !reflect.DeepEqual(want, got) {
+				tb.Fatal("FromDocDBParallel dataset diverges from FromDocDB")
+			}
+		},
+	}.Run(t)
+}

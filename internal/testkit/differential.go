@@ -1,0 +1,74 @@
+package testkit
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// WorkerLadder returns the worker counts every differential oracle runs:
+// sequential (the reference degenerate case), the smallest real pool, a
+// prime count that never divides the usual chunk sizes evenly, and the
+// machine width. Duplicates (e.g. GOMAXPROCS == 2) are removed so subtests
+// keep unique names.
+func WorkerLadder() []int {
+	ladder := []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+	seen := make(map[int]bool, len(ladder))
+	out := ladder[:0]
+	for _, w := range ladder {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Differential pins a parallel implementation to its sequential reference:
+// the Sequential result is computed once, then Parallel runs at every
+// worker count of the ladder and each result must match it exactly. T is
+// whatever the oracle compares — import stats, precision/recall curves,
+// raw file bytes, a docstore fingerprint.
+//
+// The zero Compare is reflect.DeepEqual; oracles needing bit-level float
+// comparison or custom diffs supply their own.
+type Differential[T any] struct {
+	// Name labels the oracle's subtree of subtests.
+	Name string
+	// Workers is the ladder to sweep; nil selects WorkerLadder().
+	Workers []int
+	// Sequential computes the reference result (exactly once per Run).
+	Sequential func(tb testing.TB) T
+	// Parallel computes the result under test at the given worker count.
+	Parallel func(tb testing.TB, workers int) T
+	// Compare asserts got (parallel) matches want (sequential); nil
+	// selects reflect.DeepEqual with a generic failure message.
+	Compare func(tb testing.TB, want, got T)
+}
+
+// Run executes the oracle as a named subtest tree: Name/workers=N per
+// ladder entry.
+func (d Differential[T]) Run(t *testing.T) {
+	t.Helper()
+	t.Run(d.Name, func(t *testing.T) {
+		want := d.Sequential(t)
+		workers := d.Workers
+		if len(workers) == 0 {
+			workers = WorkerLadder()
+		}
+		for _, w := range workers {
+			w := w
+			t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+				got := d.Parallel(t, w)
+				if d.Compare != nil {
+					d.Compare(t, want, got)
+					return
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("%s: parallel result at %d workers diverges from sequential reference", d.Name, w)
+				}
+			})
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package testkit_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesBuildAndRun is the smoke test of every example program: each
+// must build and run to completion. Examples are documentation that
+// executes — this is what keeps them from rotting as the APIs they
+// demonstrate move.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test builds and runs binaries")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "examples"))
+	if err != nil {
+		t.Fatalf("reading examples directory: %v", err)
+	}
+
+	binDir := t.TempDir()
+	build := exec.Command("go", "build", "-o", binDir+string(os.PathSeparator), "./examples/...")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./examples/...: %v\n%s", err, out)
+	}
+
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(binDir, name)
+			if _, err := os.Stat(bin); err != nil {
+				t.Fatalf("example %s built no binary: %v", name, err)
+			}
+			start := time.Now()
+			cmd := exec.Command(bin)
+			cmd.Dir = t.TempDir() // examples must not depend on their CWD
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed after %v: %v\n%s", name, time.Since(start), err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s printed nothing — examples are narrated demos", name)
+			}
+		})
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no example programs found")
+	}
+}

@@ -1,0 +1,186 @@
+package testkit
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+
+	"repro/internal/docstore"
+)
+
+// ErrInjected is the error every injected fault returns; tests assert on
+// it to tell injected failures from genuine ones.
+var ErrInjected = errors.New("testkit: injected I/O fault")
+
+// FaultKind selects what happens when the fault counter reaches FailAt.
+type FaultKind int
+
+const (
+	// FaultEIO fails the op with ErrInjected and no filesystem effect.
+	FaultEIO FaultKind = iota
+	// FaultShortWrite makes a WriteFile persist only a prefix of the data
+	// before returning ErrInjected; other op types degrade to FaultEIO.
+	FaultShortWrite
+	// FaultTornRename makes a Rename perform the rename and still return
+	// ErrInjected — the lying-filesystem case (NFS, some fuse layers)
+	// where the caller's cleanup runs although the op took effect. Other
+	// op types degrade to FaultEIO.
+	FaultTornRename
+)
+
+// FaultFS wraps docstore.OSFS with deterministic fault injection. Mutating
+// operations (MkdirAll, WriteFile, Rename, Remove) are counted; the op
+// whose 1-based index equals FailAt fails per Kind. Ops with index greater
+// than DropAfter (when > 0) take effect but are journaled as unsynced —
+// Crash() then simulates power loss: unsynced renames and removes are
+// rolled back and unsynced file writes survive only as a torn prefix, the
+// page-cache state an fsync would have flushed. Reads always pass through.
+//
+// The zero value injects nothing and just counts — run a healthy workload
+// once, read Ops(), then sweep FailAt over [1, Ops()].
+type FaultFS struct {
+	// Kind selects the failure behavior at FailAt.
+	Kind FaultKind
+	// FailAt is the 1-based mutating-op index that fails; 0 disables.
+	FailAt int
+	// DropAfter marks mutating ops with index > DropAfter unsynced;
+	// 0 disables the sync-drop model.
+	DropAfter int
+
+	mu      sync.Mutex
+	ops     int
+	journal []func()
+	crashed bool
+}
+
+// Ops returns how many mutating operations have been observed.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crash simulates power loss: every journaled unsynced effect is undone or
+// torn (newest first), and all subsequent operations fail. Recovery reads
+// the directory through a fresh filesystem, as a restarted process would.
+func (f *FaultFS) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = true
+	for i := len(f.journal) - 1; i >= 0; i-- {
+		f.journal[i]()
+	}
+	f.journal = nil
+}
+
+// step accounts one mutating op and reports whether it must fail outright.
+func (f *FaultFS) step() (fail, unsynced bool) {
+	if f.crashed {
+		return true, false
+	}
+	f.ops++
+	return f.FailAt > 0 && f.ops == f.FailAt, f.DropAfter > 0 && f.ops > f.DropAfter
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fail, _ := f.step()
+	if fail {
+		return ErrInjected
+	}
+	// Unsynced directory creation is not journaled: an empty surviving
+	// directory is indistinguishable from a pre-existing one to the store.
+	return docstore.OSFS.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fail, unsynced := f.step()
+	if fail {
+		if f.Kind == FaultShortWrite {
+			docstore.OSFS.WriteFile(path, data[:len(data)/2], perm)
+		}
+		return ErrInjected
+	}
+	if unsynced {
+		prev, err := docstore.OSFS.ReadFile(path)
+		existed := err == nil
+		f.journal = append(f.journal, func() {
+			if existed {
+				// The old pages may have been flushed before the write;
+				// losing the write restores them.
+				docstore.OSFS.WriteFile(path, prev, perm)
+			} else {
+				// A created-but-unsynced file survives a crash torn: the
+				// inode exists, only part of the data reached the disk.
+				docstore.OSFS.WriteFile(path, data[:len(data)/2], perm)
+			}
+		})
+	}
+	return docstore.OSFS.WriteFile(path, data, perm)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fail, unsynced := f.step()
+	if fail {
+		if f.Kind == FaultTornRename {
+			docstore.OSFS.Rename(oldpath, newpath)
+		}
+		return ErrInjected
+	}
+	if unsynced {
+		prevTarget, err := docstore.OSFS.ReadFile(newpath)
+		hadTarget := err == nil
+		f.journal = append(f.journal, func() {
+			docstore.OSFS.Rename(newpath, oldpath)
+			if hadTarget {
+				docstore.OSFS.WriteFile(newpath, prevTarget, 0o644)
+			}
+		})
+	}
+	return docstore.OSFS.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fail, unsynced := f.step()
+	if fail {
+		return ErrInjected
+	}
+	if unsynced {
+		if prev, err := docstore.OSFS.ReadFile(path); err == nil {
+			f.journal = append(f.journal, func() {
+				docstore.OSFS.WriteFile(path, prev, 0o644)
+			})
+		}
+	}
+	return docstore.OSFS.Remove(path)
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrInjected
+	}
+	return docstore.OSFS.ReadFile(path)
+}
+
+func (f *FaultFS) ReadDir(path string) ([]os.DirEntry, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrInjected
+	}
+	return docstore.OSFS.ReadDir(path)
+}
+
+var _ docstore.FS = (*FaultFS)(nil)

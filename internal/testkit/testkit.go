@@ -1,0 +1,28 @@
+// Package testkit is the conformance harness of the pipeline: the one
+// place the repo's correctness machinery lives instead of being scattered
+// as per-package ad-hoc checks.
+//
+// It has three layers, documented in docs/TESTING.md:
+//
+//   - Differential oracles (differential.go): a generic runner that pins a
+//     parallel implementation to its sequential reference across a worker
+//     ladder, result-identical to the bit. The three pipeline oracles —
+//     snapshot ingest, pair scoring, docstore persistence — run through it
+//     in conformance_test.go; `make conformance` executes them under the
+//     race detector.
+//
+//   - Seeded corpus generators (corpus.go): deterministic voter registers,
+//     corrupted duplicate pairs (every internal/corrupt error type),
+//     labeled dedup datasets and document stores, shared by every package's
+//     tests so fixtures cannot drift apart.
+//
+//   - Fault injection (faultfs.go): a filesystem wrapper implementing
+//     docstore.FS that injects short writes, torn renames, EIO on the Nth
+//     operation and dropped (never-synced) writes, so crash safety is
+//     exercised against dynamic failures at every operation index, not just
+//     statically corrupted fixtures.
+//
+// Native fuzz targets (the fourth harness layer) live next to the code they
+// fuzz — internal/voter, internal/docstore, internal/simil — with seed
+// corpora under each package's testdata/fuzz; `make fuzz-smoke` runs them.
+package testkit

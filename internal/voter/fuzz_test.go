@@ -1,0 +1,106 @@
+package voter
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Native fuzz targets for the TSV codec — the first parser any external
+// bytes hit. The invariants: no panic on any input, acceptance is exactly
+// "90 tab-separated columns" (header additionally in canonical order), and
+// decoding is lossless (the accepted row re-joins to the input text).
+// testdata/fuzz seeds the corpus with real-shaped NC rows including the
+// long-line and padding edge cases of tsv_long_test.go.
+
+// canonicalHeader renders the one header ParseHeader accepts.
+func canonicalHeader() string {
+	names := make([]string, NumAttributes)
+	for i, a := range Attributes {
+		names[i] = a.Name
+	}
+	return strings.Join(names, "\t")
+}
+
+// sampleRow renders a plausible NC row: 90 columns, a few populated.
+func sampleRow(pad bool) string {
+	r := NewRecord()
+	r.SetName("ncid", "AA123456")
+	r.SetName("snapshot_dt", "2012-11-06")
+	r.SetName("last_name", "MCDOWELL")
+	r.SetName("first_name", "ANN-MARIE")
+	r.SetName("midl_name", "O'NEAL")
+	r.SetName("age", "47")
+	r.SetName("street_name", `CHE"STNUT`)
+	if pad {
+		for i := range r.Values {
+			r.Values[i] = " " + r.Values[i] + " "
+		}
+	}
+	return strings.Join(r.Values, "\t")
+}
+
+func FuzzParseHeader(f *testing.F) {
+	f.Add(canonicalHeader())
+	f.Add(strings.ToUpper(canonicalHeader()))
+	f.Add("a\tb\tc")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		err := ParseHeader(text)
+		if (text == canonicalHeader()) != (err == nil) {
+			t.Fatalf("ParseHeader(%q) = %v; acceptance must equal canonical-header equality", text, err)
+		}
+	})
+}
+
+func FuzzDecodeRow(f *testing.F) {
+	f.Add(sampleRow(false), 2)
+	f.Add(sampleRow(true), 3)
+	f.Add(strings.Repeat("\t", NumAttributes-1), 2) // all-empty row
+	f.Add("short\trow", 9)
+	f.Add("", 0)
+	f.Fuzz(func(t *testing.T, text string, line int) {
+		rec, err := DecodeRow(text, line)
+		cols := strings.Count(text, "\t") + 1
+		if (cols == NumAttributes) != (err == nil) {
+			t.Fatalf("DecodeRow accepted %d columns: err=%v", cols, err)
+		}
+		if err != nil {
+			return
+		}
+		if len(rec.Values) != NumAttributes {
+			t.Fatalf("accepted record has %d values", len(rec.Values))
+		}
+		// Lossless: the decoded values re-join to the exact input text.
+		if rejoined := strings.Join(rec.Values, "\t"); rejoined != text {
+			t.Fatalf("decode is lossy:\n in  %q\n out %q", text, rejoined)
+		}
+	})
+}
+
+// FuzzStreamTSV drives the full streaming reader: arbitrary bytes must
+// never panic, delivered rows must each hold 90 values, and the row count
+// must match the number of delivered callbacks.
+func FuzzStreamTSV(f *testing.F) {
+	f.Add([]byte(canonicalHeader() + "\n" + sampleRow(false) + "\n"))
+	f.Add([]byte(canonicalHeader() + "\r\n" + sampleRow(true) + "\r\n")) // CRLF export
+	f.Add([]byte(canonicalHeader()))                                     // header only, no newline
+	f.Add([]byte("not\ta\theader\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		delivered := 0
+		n, err := StreamTSV(bytes.NewReader(data), func(r Record) error {
+			if len(r.Values) != NumAttributes {
+				t.Fatalf("delivered record has %d values", len(r.Values))
+			}
+			delivered++
+			return nil
+		})
+		if n != delivered {
+			t.Fatalf("StreamTSV reported %d rows, delivered %d", n, delivered)
+		}
+		if err == nil && delivered == 0 && len(data) == 0 {
+			t.Fatal("empty input accepted without a header error")
+		}
+	})
+}

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/scanio"
 )
 
 // The register is distributed as tab-separated files with a header row
@@ -53,13 +55,15 @@ func WriteTSV(w io.Writer, s Snapshot) error {
 // parallel reader in internal/core so both paths accept and reject exactly
 // the same inputs. A 90-attribute row with export padding easily exceeds
 // bufio's 64 KiB default token limit, so the scanner always gets an
-// explicit buffer: ScanBufferBytes up front, growing to MaxLineBytes.
+// explicit buffer: ScanBufferBytes up front, growing to MaxLineBytes. The
+// numbers themselves live in internal/scanio next to the docstore's
+// JSON-lines limits so the two line-oriented readers cannot drift apart.
 const (
 	// ScanBufferBytes is the initial scanner buffer size.
-	ScanBufferBytes = 64 << 10
+	ScanBufferBytes = scanio.InitialBufferBytes
 	// MaxLineBytes is the largest accepted TSV line; longer lines fail
 	// with bufio.ErrTooLong on every read path.
-	MaxLineBytes = 4 << 20
+	MaxLineBytes = scanio.MaxTSVLineBytes
 )
 
 // ParseHeader validates one header line against the canonical schema: it
@@ -94,8 +98,7 @@ func DecodeRow(text string, line int) (Record, error) {
 // attribute names in canonical order. fn returning an error aborts the
 // stream. The returned count is the number of rows delivered.
 func StreamTSV(r io.Reader, fn func(Record) error) (int, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, ScanBufferBytes), MaxLineBytes)
+	sc := scanio.NewScanner(r, MaxLineBytes)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
 			return 0, err

@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race test-short serve-race ingest-race score-race docstore-race conformance fuzz-smoke cover bench-matching bench-docstore docs
+.PHONY: ci fmt vet build test race test-short serve-race serving-race ingest-race score-race docstore-race conformance fuzz-smoke cover bench-matching bench-docstore bench-serving docs
 
-ci: fmt vet build race docs conformance fuzz-smoke cover score-race docstore-race bench-docstore
+ci: fmt vet build race docs conformance fuzz-smoke cover score-race docstore-race serving-race bench-docstore bench-serving
 
 # Fail when any tracked Go file is not gofmt-clean.
 fmt:
@@ -36,6 +36,13 @@ race:
 # check of docstore/httpapi/obs changes.
 serve-race:
 	$(GO) test -race ./internal/docstore ./internal/httpapi ./internal/obs
+
+# The serving-snapshot suite under the race detector: lock-free reads under
+# atomic swap (TestSwapUnderLoad), the snapshot/cache unit tests and the
+# load generator. The store-vs-snapshot byte-identity oracle runs with the
+# conformance harness (internal/testkit).
+serving-race:
+	$(GO) test -race ./internal/serving ./internal/loadgen ./internal/httpapi
 
 # The parallel-ingest equivalence suite under the race detector — the
 # byte-identical-to-sequential guarantee of docs/ARCHITECTURE.md.
@@ -103,6 +110,11 @@ bench-matching:
 # numbers behind the EXPERIMENTS.md docstore section (BENCH_docstore.json).
 bench-docstore:
 	$(GO) run ./cmd/ncbench -scale small -exp docstore
+
+# Closed-loop serving-load ladder (direct vs cache vs snapshot vs both) —
+# the numbers behind the EXPERIMENTS.md serving section (BENCH_serving.json).
+bench-serving:
+	$(GO) run ./cmd/ncbench -scale small -exp load
 
 # Fail when the README links to a docs/ file that does not exist.
 docs:

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"runtime"
+
+	"repro/internal/bench"
+	"repro/internal/httpapi"
+	"repro/internal/loadgen"
+)
+
+// loadRun is one rung of the serving ladder in the JSON report.
+type loadRun struct {
+	Name        string         `json:"name"`
+	Snapshot    bool           `json:"snapshot"`
+	Cache       bool           `json:"cache"`
+	CacheHits   int64          `json:"cacheHits"`
+	CacheMisses int64          `json:"cacheMisses"`
+	Result      loadgen.Result `json:"result"`
+}
+
+// loadReport is the BENCH_serving.json layout.
+type loadReport struct {
+	Dataset    map[string]any `json:"dataset"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Workers    int            `json:"workers"`
+	Requests   int            `json:"requests"`
+	Runs       []loadRun      `json:"runs"`
+}
+
+// maxLookupIDs bounds the NCID pool of the point-lookup leg so the mix
+// revisits ids (the census pattern: hot ids repeat).
+const maxLookupIDs = 256
+
+// runServingLoad measures the serving ladder — direct docstore serving,
+// response cache, precomputed snapshots, and both combined — under the same
+// closed-loop mixed workload, prints the comparison, and writes the
+// measurements to jsonPath. This is the experiment behind the tentpole
+// claim: snapshots and caching must beat per-request store aggregation on
+// both throughput and tail latency.
+func runServingLoad(w *bench.Workspace, workers, requests int, jsonPath string, out io.Writer) error {
+	ds := w.ScoredDataset()
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	// Seed the NCID pool for the point-lookup leg from a reference server.
+	seedAPI := httpapi.New(ds, httpapi.WithLogger(logger))
+	rec := httptest.NewRecorder()
+	seedAPI.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/v1/clusters?limit=%d", maxLookupIDs), nil))
+	var pg struct {
+		Data []map[string]any `json:"data"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &pg); err != nil || len(pg.Data) == 0 {
+		return fmt.Errorf("serving load: no clusters to query (%v)", err)
+	}
+	recordPaths := make([]string, 0, len(pg.Data))
+	for _, it := range pg.Data {
+		if id, ok := it["ncid"].(string); ok {
+			recordPaths = append(recordPaths, "/v1/records/"+id)
+		}
+	}
+
+	// The census-style mix: point lookups dominate, the expensive aggregate
+	// is hot, lists and stats ride along.
+	targets := []loadgen.Target{
+		{Route: "GET /v1/records/{ncid}", Paths: recordPaths, Weight: 5},
+		{Route: "GET /v1/clusters/summary", Paths: []string{
+			"/v1/clusters/summary", "/v1/clusters/summary?minSize=2",
+		}, Weight: 2},
+		{Route: "GET /v1/clusters", Paths: []string{
+			"/v1/clusters?score=heterogeneity&min=0.4&limit=20",
+		}, Weight: 1},
+		{Route: "GET /v1/stats", Paths: []string{"/v1/stats"}, Weight: 1},
+		{Route: "GET /v1/histogram", Paths: []string{"/v1/histogram"}, Weight: 1},
+	}
+
+	configs := []struct {
+		name            string
+		snapshot, cache bool
+	}{
+		{"direct", false, false},
+		{"direct+cache", false, true},
+		{"snapshot", true, false},
+		{"snapshot+cache", true, true},
+	}
+
+	report := loadReport{
+		Dataset: map[string]any{
+			"clusters": ds.NumClusters(),
+			"records":  ds.NumRecords(),
+			"pairs":    ds.NumPairs(),
+		},
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Requests:   requests,
+	}
+
+	fmt.Fprintf(out, "Serving load ladder (%d workers, %d requests, in-process)\n", workers, requests)
+	fmt.Fprintf(out, "  %-16s %10s %8s %8s %8s %8s %10s\n",
+		"config", "req/s", "p50ms", "p95ms", "p99ms", "maxms", "cache h/m")
+	for _, cfg := range configs {
+		opts := []httpapi.Option{
+			httpapi.WithLogger(logger),
+			httpapi.WithSnapshotServing(cfg.snapshot),
+		}
+		if !cfg.cache {
+			opts = append(opts, httpapi.WithResponseCache(-1))
+		}
+		api := httpapi.New(ds, opts...)
+		res := loadgen.Run(api, targets, loadgen.Config{Workers: workers, Requests: requests})
+		if res.Errors > 0 {
+			return fmt.Errorf("serving load %s: %d request errors", cfg.name, res.Errors)
+		}
+		run := loadRun{
+			Name:        cfg.name,
+			Snapshot:    cfg.snapshot,
+			Cache:       cfg.cache,
+			CacheHits:   api.Metrics().Counter("serving_cache_hits"),
+			CacheMisses: api.Metrics().Counter("serving_cache_misses"),
+			Result:      res,
+		}
+		report.Runs = append(report.Runs, run)
+		fmt.Fprintf(out, "  %-16s %10.0f %8.3f %8.3f %8.3f %8.3f %5d/%d\n",
+			cfg.name, res.ReqPerSec, res.P50MS, res.P95MS, res.P99MS, res.MaxMS,
+			run.CacheHits, run.CacheMisses)
+	}
+
+	// Per-route comparison of the two poles of the ladder.
+	first, last := report.Runs[0].Result, report.Runs[len(report.Runs)-1].Result
+	fmt.Fprintf(out, "\n  per-route p99ms            %12s %15s\n", "direct", "snapshot+cache")
+	for i, r := range first.Routes {
+		fmt.Fprintf(out, "  %-28s %12.3f %15.3f\n", r.Route, r.P99MS, last.Routes[i].P99MS)
+	}
+
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -26,14 +26,14 @@ func runServingLatency(w *bench.Workspace, requests int, out io.Writer) {
 
 	// Seed cluster ids for the point-lookup leg of the mix.
 	var pg struct {
-		Items []map[string]any `json:"items"`
+		Data []map[string]any `json:"data"`
 	}
-	if err := json.Unmarshal(do("/v1/clusters?limit=100").Body.Bytes(), &pg); err != nil || len(pg.Items) == 0 {
+	if err := json.Unmarshal(do("/v1/clusters?limit=100").Body.Bytes(), &pg); err != nil || len(pg.Data) == 0 {
 		fmt.Fprintf(out, "serving latency: no clusters to query (%v)\n", err)
 		return
 	}
-	ids := make([]string, 0, len(pg.Items))
-	for _, it := range pg.Items {
+	ids := make([]string, 0, len(pg.Data))
+	for _, it := range pg.Data {
 		if id, ok := it["ncid"].(string); ok {
 			ids = append(ids, id)
 		}

@@ -1,31 +1,45 @@
 // Command ncserve exposes a stored test dataset over a versioned read-only
 // HTTP/JSON API — the exploration companion the paper gets from MongoDB
-// Compass (§5) — hardened for production use: structured request logging,
-// per-route metrics, panic recovery, per-request timeouts, in-flight
-// limiting and graceful shutdown.
+// Compass (§5) — hardened for high-QPS production use: requests are served
+// from immutable, generation-stamped serving snapshots swapped in
+// atomically, with a bounded LRU response cache on the hot aggregate
+// endpoints, plus structured request logging, per-route metrics, panic
+// recovery, per-request timeouts, in-flight limiting and graceful shutdown.
 //
 // Usage:
 //
-//	ncserve -db store/ -addr :8080 [-timeout 10s] [-max-inflight 256] [-grace 10s] [-store-workers 0]
+//	ncserve -db store/ -addr :8080 [-timeout 10s] [-max-inflight 256]
+//	        [-grace 10s] [-store-workers 0] [-cache 1024] [-snapshot]
 //
-// Endpoints (unversioned paths 301 to their /v1 twin):
+// Endpoints (unversioned paths redirect to their /v1 twin — 301 for
+// GET/HEAD, 308 otherwise). Every /v1 response is a {data, meta, error}
+// envelope carrying the snapshot generation (also exposed as the
+// X-Dataset-Generation header and a strong ETag; If-None-Match revalidates
+// with 304 until the next reload):
 //
 //	GET /v1/stats                 dataset-level statistics
 //	GET /v1/years                 per-year import history (Table 1)
 //	GET /v1/histogram             cluster-size histogram (Fig. 1)
 //	GET /v1/versions              published versions
+//	GET /v1/records/{ncid}        one person's record view (O(1) lookup)
 //	GET /v1/clusters/{ncid}       one cluster document
-//	GET /v1/clusters/summary      whole-store aggregation (parallel scan;
-//	                              ?minSize=&maxSize= filters via the
-//	                              pipeline's index pushdown)
+//	GET /v1/clusters/summary      aggregation over the served clusters
+//	                              (?minSize=&maxSize= filters)
 //	GET /v1/clusters?score=heterogeneity&min=0.4&limit=20&cursor=...
 //	                              score-range queries over cluster
 //	                              summaries, cursor-paginated
+//	GET /v1/healthz               readiness (503 until the first snapshot)
+//	GET /v1/livez                 liveness (200 as soon as the process is up)
 //	GET /metrics                  per-route counters and latency quantiles
 //	                              (JSON; ?format=prometheus for text)
 //
-// On SIGINT/SIGTERM the server stops accepting connections, drains
-// in-flight requests for up to -grace, then exits 0.
+// The listener binds before the corpus loads: /v1/livez answers
+// immediately, /v1/healthz flips from 503 to 200 when the first snapshot is
+// published. SIGHUP reloads the database directory and swaps the new
+// generation in atomically — in-flight requests keep their generation, and
+// a failed reload keeps the old one serving. On SIGINT/SIGTERM the server
+// stops accepting connections, drains in-flight requests for up to -grace,
+// then exits 0.
 package main
 
 import (
@@ -55,52 +69,82 @@ func main() {
 		inflight     = flag.Int("max-inflight", 256, "max concurrently served requests (0 disables shedding)")
 		grace        = flag.Duration("grace", 10*time.Second, "shutdown drain deadline")
 		storeWorkers = flag.Int("store-workers", 0, "document-store load and scan workers (0 = all cores); results are identical at any count")
+		cacheSize    = flag.Int("cache", 1024, "response-cache entries (negative disables)")
+		snapshot     = flag.Bool("snapshot", true, "serve from precomputed read-optimized snapshots (false: compute per request against the store)")
 	)
 	flag.Parse()
 
-	stored, err := docstore.LoadParallelOpts(*db, docstore.LoadOpts{Workers: *storeWorkers})
-	if err != nil {
-		log.Fatal(err)
-	}
-	ds, err := core.FromDocDBParallel(stored, *storeWorkers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	api := httpapi.New(ds,
+	api := httpapi.NewDeferred(
 		httpapi.WithTimeout(*timeout),
 		httpapi.WithMaxInflight(*inflight),
 		httpapi.WithStoreWorkers(*storeWorkers),
+		httpapi.WithSnapshotServing(*snapshot),
+		httpapi.WithResponseCache(*cacheSize),
 	)
+
+	// load reads the database directory and publishes it as the next
+	// serving generation. On reload, any failure leaves the previous
+	// generation serving untouched.
+	load := func() error {
+		stored, err := docstore.LoadParallelOpts(*db, docstore.LoadOpts{Workers: *storeWorkers})
+		if err != nil {
+			return err
+		}
+		ds, err := core.FromDocDBParallel(stored, *storeWorkers)
+		if err != nil {
+			return err
+		}
+		gen := api.Publish(ds)
+		log.Printf("generation %d: serving %d clusters / %d records from %s",
+			gen, ds.NumClusters(), ds.NumRecords(), *db)
+		return nil
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("serving %d clusters / %d records from %s on http://%s\n",
-		ds.NumClusters(), ds.NumRecords(), *db, *addr)
+
+	// Bind first, load second: liveness is immediate and readiness is
+	// honest — /v1/healthz answers 503 until the first snapshot lands.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("listening on http://%s (readiness pending first load)\n", *addr)
+
+	if err := load(); err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
 
-	select {
-	case err := <-errc:
-		log.Fatal(err)
-	case <-ctx.Done():
-		stop()
-		log.Printf("signal received, draining for up to %s", *grace)
-		sctx, cancel := context.WithTimeout(context.Background(), *grace)
-		defer cancel()
-		if err := srv.Shutdown(sctx); err != nil {
-			log.Printf("shutdown: %v", err)
-			os.Exit(1)
+	for {
+		select {
+		case err := <-errc:
+			log.Fatal(err)
+		case <-hup:
+			log.Printf("SIGHUP: reloading %s", *db)
+			if err := load(); err != nil {
+				log.Printf("reload failed, keeping generation %d: %v", api.Generation(), err)
+			}
+		case <-ctx.Done():
+			stop()
+			log.Printf("signal received, draining for up to %s", *grace)
+			sctx, cancel := context.WithTimeout(context.Background(), *grace)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				log.Printf("shutdown: %v", err)
+				os.Exit(1)
+			}
+			if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("serve: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("drained cleanly")
+			return
 		}
-		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("serve: %v", err)
-			os.Exit(1)
-		}
-		log.Printf("drained cleanly")
 	}
 }

@@ -493,6 +493,54 @@ func (c *Collection) ForEachParallel(workers int, fn func(Document)) {
 	wg.Wait()
 }
 
+// ForEachIndexedParallel is ForEachParallel with a stable rank: fn
+// additionally receives the document's dense insertion-order index among
+// the live documents (0..Len()-1). It exists for deterministic parallel
+// builders — notably the serving-snapshot precompute — that drop results
+// into a rank-addressed slice: workers complete in any order, but the
+// assembled slice comes out in insertion order for any worker count. The
+// same constraints as ForEachParallel apply: fn must be safe for concurrent
+// use and must not mutate documents.
+func (c *Collection) ForEachIndexedParallel(workers int, fn func(rank int, doc Document)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c.mu.RLock()
+	snap := make([]Document, 0, len(c.byID))
+	for _, doc := range c.docs {
+		if doc != nil {
+			snap = append(snap, doc)
+		}
+	}
+	c.mu.RUnlock()
+	if workers > len(snap) {
+		workers = len(snap)
+	}
+	if workers <= 1 {
+		for rank, doc := range snap {
+			fn(rank, doc)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	block := (len(snap) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * block
+		hi := min(lo+block, len(snap))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(base int, part []Document) {
+			defer wg.Done()
+			for i, doc := range part {
+				fn(base+i, doc)
+			}
+		}(lo, snap[lo:hi])
+	}
+	wg.Wait()
+}
+
 // forEachCtxStride bounds how many documents ForEachContext visits between
 // cancellation checks; a power of two keeps the modulo cheap.
 const forEachCtxStride = 1024

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -194,6 +195,33 @@ func TestForEachParallelMatchesSequential(t *testing.T) {
 	}
 	// Empty collection must not deadlock or spawn goroutines.
 	NewCollection("empty").ForEachParallel(4, func(Document) { t.Error("visited a phantom doc") })
+}
+
+func TestForEachIndexedParallelRanks(t *testing.T) {
+	c := pushdownCollection(t, 500)
+	// The rank-addressed scan must assign every live doc a dense rank in
+	// insertion order, identically for any worker count.
+	want := make([]string, 0, 500)
+	c.ForEach(func(d Document) bool {
+		want = append(want, d["_id"].(string))
+		return true
+	})
+	for _, workers := range []int{0, 1, 2, 7} {
+		got := make([]string, len(want))
+		var visits atomic.Int64
+		c.ForEachIndexedParallel(workers, func(rank int, d Document) {
+			got[rank] = d["_id"].(string) // out-of-range rank panics the test
+			visits.Add(1)
+		})
+		if int(visits.Load()) != len(want) {
+			t.Fatalf("workers=%d: %d visits, want %d", workers, visits.Load(), len(want))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: rank order diverged from insertion order", workers)
+		}
+	}
+	// Empty collection must not deadlock or spawn goroutines.
+	NewCollection("empty").ForEachIndexedParallel(4, func(int, Document) { t.Error("visited a phantom doc") })
 }
 
 func TestIndexKeyMatchesFmtSprint(t *testing.T) {

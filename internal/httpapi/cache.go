@@ -1,0 +1,98 @@
+package httpapi
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+
+	"repro/internal/serving"
+)
+
+// maxCachedBody caps the size of a cacheable response body. Larger bodies
+// (a giant unpaginated histogram of a huge corpus, say) are served but not
+// retained, bounding the cache's worst-case memory to capacity × 1 MiB.
+const maxCachedBody = 1 << 20
+
+// cached wraps a handler with the response cache. The snapshot is loaded
+// exactly once here and pinned to the request context, so the cache key's
+// generation, the handler's data and every generation-derived header come
+// from the same snapshot even if a swap lands mid-request — a torn response
+// is structurally impossible. Only 200 responses are cached; conditional
+// revalidation (If-None-Match → 304) is applied on replay, so a cached body
+// still serves 304s.
+func (s *Server) cached(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap := s.source.Current()
+		if snap == nil {
+			h(w, r) // not ready yet; the handler renders the 503
+			return
+		}
+		r = withSnapshot(r, snap)
+		key := serving.CacheKey{
+			Generation: snap.Generation(),
+			Resource:   r.Method + " " + r.URL.RequestURI(),
+		}
+		if resp, ok := s.cache.Get(key); ok {
+			w.Header().Set("X-Cache", "hit")
+			replayCached(w, r, snap, resp)
+			return
+		}
+		w.Header().Set("X-Cache", "miss")
+		rec := &teeRecorder{ResponseWriter: w}
+		h(rec, r)
+		if rec.status == http.StatusOK && !rec.overflow {
+			s.cache.Put(key, serving.CachedResponse{Status: rec.status, Body: rec.buf.Bytes()})
+		}
+	}
+}
+
+// replayCached serves a cache hit: re-derives the generation headers from
+// the pinned snapshot, honors If-None-Match, and otherwise replays the
+// stored body byte for byte.
+func replayCached(w http.ResponseWriter, r *http.Request, snap *serving.Snapshot, resp serving.CachedResponse) {
+	gen := snap.Generation()
+	etag := etagFor(gen)
+	w.Header().Set("ETag", etag)
+	w.Header().Set(headerGeneration, strconv.FormatUint(gen, 10))
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(resp.Body)))
+	w.WriteHeader(resp.Status)
+	if _, err := w.Write(resp.Body); err != nil {
+		return // client went away; nothing to salvage
+	}
+}
+
+// teeRecorder passes a response through while keeping a bounded copy of the
+// status and body for the cache.
+type teeRecorder struct {
+	http.ResponseWriter
+	status   int
+	buf      bytes.Buffer
+	overflow bool
+}
+
+func (t *teeRecorder) WriteHeader(code int) {
+	if t.status == 0 {
+		t.status = code
+	}
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *teeRecorder) Write(b []byte) (int, error) {
+	if t.status == 0 {
+		t.status = http.StatusOK
+	}
+	if !t.overflow {
+		if t.buf.Len()+len(b) <= maxCachedBody {
+			t.buf.Write(b)
+		} else {
+			t.overflow = true
+			t.buf = bytes.Buffer{}
+		}
+	}
+	return t.ResponseWriter.Write(b)
+}

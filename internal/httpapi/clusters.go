@@ -16,22 +16,29 @@ const (
 )
 
 // clusterRoutes serves the cluster resource: score-range listing with
-// cursor pagination and per-cluster lookup.
+// cursor pagination and per-cluster lookup. Both scan the snapshot's
+// document database through its ordered indexes in either serving mode —
+// the range/cursor space is too large to precompute — so only the list
+// endpoint (whose hot queries repeat) is cacheable.
 func (s *Server) clusterRoutes() []route {
 	return []route{
-		{"GET", "/clusters", s.handleClusterQuery},
-		{"GET", "/clusters/{ncid}", s.handleCluster},
+		{"GET", "/clusters", s.handleClusterQuery, true},
+		{"GET", "/clusters/{ncid}", s.handleCluster, false},
 	}
 }
 
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	snap := s.requireSnapshot(w, r)
+	if snap == nil {
+		return
+	}
 	ncid := r.PathValue("ncid")
-	doc := s.db.Collection(core.ClustersCollection).Get(ncid)
+	doc := snap.DB().Collection(core.ClustersCollection).Get(ncid)
 	if doc == nil {
 		writeError(w, http.StatusNotFound, "not_found", "unknown cluster "+ncid)
 		return
 	}
-	writeJSON(w, http.StatusOK, doc)
+	s.writeData(w, r, snap, doc, nil)
 }
 
 // handleClusterQuery lists cluster summaries by score range with cursor
@@ -41,8 +48,13 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 //	GET /v1/clusters?score=heterogeneity&min=0.4&limit=20&cursor=...
 //	GET /v1/clusters?score=size&min=5
 //
-// Pages materialize at most limit documents; nextCursor resumes the scan.
+// Pages materialize at most limit documents; meta.nextCursor resumes the
+// scan.
 func (s *Server) handleClusterQuery(w http.ResponseWriter, r *http.Request) {
+	snap := s.requireSnapshot(w, r)
+	if snap == nil {
+		return
+	}
 	q := r.URL.Query()
 	score := q.Get("score")
 	switch score {
@@ -86,7 +98,7 @@ func (s *Server) handleClusterQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	clusters := s.db.Collection(core.ClustersCollection)
+	clusters := snap.DB().Collection(core.ClustersCollection)
 	docs, next, err := clusters.FindRangePage(score, lo, hi, afterID, limit)
 	if errors.Is(err, docstore.ErrBadCursor) {
 		writeError(w, http.StatusBadRequest, "bad_cursor", "stale or unknown cursor")
@@ -98,7 +110,7 @@ func (s *Server) handleClusterQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Summaries only: id, size and scores — record bodies via
-	// /v1/clusters/{id}.
+	// /v1/clusters/{id} or /v1/records/{id}.
 	items := make([]map[string]any, 0, len(docs))
 	for _, d := range docs {
 		item := map[string]any{"ncid": d["_id"], "size": d["size"]}
@@ -110,9 +122,9 @@ func (s *Server) handleClusterQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		items = append(items, item)
 	}
-	writeJSON(w, http.StatusOK, listPage{
-		Items:      items,
-		Total:      clusters.CountRange(score, lo, hi),
+	total := clusters.CountRange(score, lo, hi)
+	s.writeData(w, r, snap, items, &meta{
+		Total:      &total,
 		NextCursor: encodeCursor(next),
 	})
 }

@@ -1,18 +1,28 @@
 // Package httpapi exposes a stored test dataset over a versioned, read-only
 // HTTP/JSON API — the stand-in for the MongoDB Compass exploration the
 // paper relies on for "exploring, generating, adjusting and using the test
-// data" (§5). All resources live under /v1 (the unversioned paths of the
-// first release respond with a 301 to their /v1 twin); GET /metrics exposes
-// the per-route observability registry.
+// data" (§5), redesigned for high-QPS census-style lookup: every request is
+// served from an immutable, generation-stamped serving snapshot
+// (internal/serving) loaded with one atomic pointer read, so a corpus
+// reload (Publish) swaps the whole read state without locking or tearing a
+// single response. All resources live under /v1 (unversioned paths answer
+// 301, non-GET 308, to their /v1 twin); GET /metrics exposes the per-route
+// observability registry.
 //
-// Conventions: errors are {"error": {"code", "message"}} envelopes; list
-// endpoints are {"items", "total", "nextCursor"} envelopes with opaque
-// cursor pagination. Handlers honor the request context, so the per-request
-// timeout middleware can interrupt long scans.
+// Conventions: every /v1 response is the unified {data, meta, error}
+// envelope — data carries the payload (an array for list endpoints), meta
+// carries the snapshot generation plus pagination (total, nextCursor), and
+// errors are {"error": {"code", "message"}}. Responses carry the snapshot
+// generation as an X-Dataset-Generation header and a strong ETag, so
+// clients can detect which corpus version they benchmarked against and
+// revalidate with If-None-Match (304 until the next swap). Hot aggregate
+// endpoints are additionally served from a bounded LRU response cache
+// keyed on (generation, resource) — a swap implicitly invalidates it.
 package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"log/slog"
@@ -22,8 +32,8 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/docstore"
 	"repro/internal/obs"
+	"repro/internal/serving"
 )
 
 // Config tunes the middleware around the handlers; the zero value of a
@@ -32,7 +42,9 @@ type Config struct {
 	Timeout      time.Duration // per-request deadline (default 10s; <0 disables)
 	MaxInflight  int           // in-flight request cap (default 256; <0 disables)
 	Logger       *slog.Logger  // request logger (default slog.Default())
-	StoreWorkers int           // workers for parallel store scans (default/0: all cores)
+	StoreWorkers int           // workers for store scans and snapshot builds (default/0: all cores)
+	Snapshot     bool          // serve from precomputed snapshots (default on)
+	CacheSize    int           // response-cache entries (default 1024; <0 disables)
 }
 
 // Option mutates the Config inside New.
@@ -48,32 +60,59 @@ func WithMaxInflight(n int) Option { return func(c *Config) { c.MaxInflight = n 
 func WithLogger(l *slog.Logger) Option { return func(c *Config) { c.Logger = l } }
 
 // WithStoreWorkers sets the worker count for parallel document-store scans
-// (the /v1/clusters/summary aggregation); n <= 0 selects GOMAXPROCS.
+// and snapshot precomputes; n <= 0 selects GOMAXPROCS. Responses and built
+// snapshots are identical at any count.
 func WithStoreWorkers(n int) Option { return func(c *Config) { c.StoreWorkers = n } }
 
-// Server wraps a dataset and its document database for serving.
+// WithSnapshotServing selects between the two serving modes: precomputed
+// read-optimized snapshots (true, the default) or per-request computation
+// against the document store (false — the reference mode the snapshot path
+// is pinned byte-identical to).
+func WithSnapshotServing(on bool) Option { return func(c *Config) { c.Snapshot = on } }
+
+// WithResponseCache bounds the LRU response cache to n entries; n < 0
+// disables caching. The default is 1024 entries.
+func WithResponseCache(n int) Option { return func(c *Config) { c.CacheSize = n } }
+
+// Server serves dataset snapshots published through Publish.
 type Server struct {
-	ds           *core.Dataset
-	db           *docstore.DB
 	mux          *http.ServeMux
 	metrics      *obs.Metrics
 	handler      http.Handler
+	source       *serving.Source
+	cache        *serving.ResponseCache
 	storeWorkers int
+	snapshotMode bool
 }
 
 // route is one registered endpoint, relative to the /v1 prefix. Resources
-// contribute []route slices (see clusters.go, meta.go) so growing the API
-// means adding a routes function, not editing one constructor.
+// contribute []route slices (see clusters.go, meta.go, records.go,
+// health.go) so growing the API means adding a routes function, not editing
+// one constructor. Cacheable routes are wrapped with the response cache.
 type route struct {
-	method  string
-	pattern string // resource-relative, e.g. "/clusters/{ncid}"
-	handler http.HandlerFunc
+	method    string
+	pattern   string // resource-relative, e.g. "/clusters/{ncid}"
+	handler   http.HandlerFunc
+	cacheable bool
 }
 
-// New builds a server over the dataset. The document database is
-// materialized once; score-range endpoints get ordered indexes.
+// New builds a server and synchronously publishes the dataset as its first
+// serving snapshot — the convenience constructor for tests and one-shot
+// tools. Long-running servers that want real readiness semantics use
+// NewDeferred and Publish.
 func New(ds *core.Dataset, opts ...Option) *Server {
-	cfg := Config{Timeout: 10 * time.Second, MaxInflight: 256}
+	s := NewDeferred(opts...)
+	s.Publish(ds)
+	return s
+}
+
+// NewDeferred builds a server with no snapshot loaded yet: every data
+// endpoint (and /v1/healthz) answers 503 not_ready until the first Publish
+// completes, while /v1/livez and /metrics are live immediately. This lets
+// a process bind its listener before the corpus load and expose honest
+// readiness to orchestrators.
+func NewDeferred(opts ...Option) *Server {
+	cfg := Config{Timeout: 10 * time.Second, MaxInflight: 256, Snapshot: true, CacheSize: 1024}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -84,21 +123,24 @@ func New(ds *core.Dataset, opts ...Option) *Server {
 		cfg.MaxInflight = 0
 	}
 
-	db := ds.ToDocDB()
-	clusters := db.Collection(core.ClustersCollection)
-	clusters.CreateOrderedIndex("plausibility")
-	clusters.CreateOrderedIndex("heterogeneity")
-	clusters.CreateOrderedIndex("size")
-
-	s := &Server{ds: ds, db: db, mux: http.NewServeMux(), metrics: obs.NewMetrics(),
-		storeWorkers: cfg.StoreWorkers}
-	// Store counters (pipeline runs, pushdown hits, documents cloned) land
-	// in the same registry as the request metrics, so GET /metrics covers
-	// the query layer too.
-	db.SetObserver(s.metrics)
+	s := &Server{
+		mux:          http.NewServeMux(),
+		metrics:      obs.NewMetrics(),
+		storeWorkers: cfg.StoreWorkers,
+		snapshotMode: cfg.Snapshot,
+	}
+	s.source = serving.NewSource(s.metrics)
+	if cfg.CacheSize >= 0 {
+		if cfg.CacheSize == 0 {
+			cfg.CacheSize = 1024
+		}
+		s.cache = serving.NewResponseCache(cfg.CacheSize, s.metrics)
+	}
 	s.register(s.metaRoutes())
 	s.register(s.clusterRoutes())
 	s.register(s.summaryRoutes())
+	s.register(s.recordRoutes())
+	s.register(s.healthRoutes())
 	s.mux.Handle("GET /metrics", s.metrics.Handler())
 
 	s.handler = obs.Chain(http.HandlerFunc(s.dispatch),
@@ -111,22 +153,62 @@ func New(ds *core.Dataset, opts ...Option) *Server {
 	return s
 }
 
-// register mounts the routes under /v1 and their unversioned twins as 301
-// redirects (one-release compatibility alias).
+// Publish freezes the dataset into a new serving snapshot — materializing
+// its document database, building the ordered score indexes, and (in
+// snapshot mode) precomputing the read-optimized lookup tables — and swaps
+// it in atomically, returning the new generation. In-flight requests keep
+// serving the previous generation untouched; requests arriving after the
+// swap see only the new one. Publish is safe to call while serving (reload
+// on SIGHUP); the dataset must not be mutated afterwards.
+func (s *Server) Publish(ds *core.Dataset) uint64 {
+	db := ds.ToDocDB()
+	clusters := db.Collection(core.ClustersCollection)
+	clusters.CreateOrderedIndex("plausibility")
+	clusters.CreateOrderedIndex("heterogeneity")
+	clusters.CreateOrderedIndex("size")
+	// Store counters (pipeline runs, pushdown hits, documents cloned) land
+	// in the same registry as the request metrics, so GET /metrics covers
+	// the query layer too.
+	db.SetObserver(s.metrics)
+	snap := serving.Build(ds, db, serving.BuildOpts{
+		Workers:    s.storeWorkers,
+		Precompute: s.snapshotMode,
+	})
+	return s.source.Swap(snap)
+}
+
+// Generation returns the currently served snapshot generation (0 before
+// the first Publish).
+func (s *Server) Generation() uint64 { return s.source.Generation() }
+
+// register mounts the routes under /v1 and their unversioned twins as
+// redirects (one-release compatibility alias; 301 for GET/HEAD, 308
+// otherwise so non-GET methods and bodies survive the redirect).
 func (s *Server) register(routes []route) {
 	for _, rt := range routes {
-		s.mux.HandleFunc(rt.method+" /v1"+rt.pattern, rt.handler)
-		s.mux.HandleFunc(rt.method+" "+rt.pattern, redirectToV1)
+		h := rt.handler
+		if rt.cacheable && s.cache != nil {
+			h = s.cached(h)
+		}
+		s.mux.HandleFunc(rt.method+" /v1"+rt.pattern, h)
+		s.mux.HandleFunc(rt.pattern, redirectToV1)
 	}
 }
 
-// redirectToV1 301s an unversioned path to its /v1 twin, query preserved.
+// redirectToV1 redirects an unversioned path to its /v1 twin, query string
+// preserved: 301 for GET and HEAD, 308 (Permanent Redirect) for every
+// other method, which obliges clients to replay the method and body
+// instead of degrading to GET.
 func redirectToV1(w http.ResponseWriter, r *http.Request) {
 	target := "/v1" + r.URL.Path
 	if q := r.URL.RawQuery; q != "" {
 		target += "?" + q
 	}
-	http.Redirect(w, r, target, http.StatusMovedPermanently)
+	code := http.StatusMovedPermanently
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		code = http.StatusPermanentRedirect
+	}
+	http.Redirect(w, r, target, code)
 }
 
 // ServeHTTP implements http.Handler through the middleware chain.
@@ -151,6 +233,87 @@ func (s *Server) routeLabel(r *http.Request) string {
 // the JSON error envelope.
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(&jsonErrorWriter{ResponseWriter: w}, r)
+}
+
+// snapCtxKey carries the request's pinned snapshot through the context, so
+// the cache wrapper and the handler agree on one generation even if a swap
+// lands mid-request.
+type snapCtxKey struct{}
+
+// withSnapshot pins a snapshot to the request.
+func withSnapshot(r *http.Request, snap *serving.Snapshot) *http.Request {
+	return r.WithContext(context.WithValue(r.Context(), snapCtxKey{}, snap))
+}
+
+// requireSnapshot resolves the snapshot this request is served from — the
+// pinned one when the cache wrapper ran, otherwise the current one, loaded
+// exactly once so the ETag, the generation header and the body can never
+// disagree. Before the first Publish it answers 503 not_ready and returns
+// nil.
+func (s *Server) requireSnapshot(w http.ResponseWriter, r *http.Request) *serving.Snapshot {
+	snap, _ := r.Context().Value(snapCtxKey{}).(*serving.Snapshot)
+	if snap == nil {
+		snap = s.source.Current()
+	}
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, "not_ready", "no serving snapshot loaded yet")
+		return nil
+	}
+	return snap
+}
+
+// envelope is the unified success envelope of every /v1 endpoint.
+type envelope struct {
+	Data any  `json:"data"`
+	Meta meta `json:"meta"`
+}
+
+// meta is the response metadata: the snapshot generation on every
+// response, plus the pagination fields on list endpoints.
+type meta struct {
+	Generation uint64 `json:"generation"`
+	Total      *int   `json:"total,omitempty"`
+	NextCursor string `json:"nextCursor,omitempty"`
+}
+
+// headerGeneration names the corpus-version response header.
+const headerGeneration = "X-Dataset-Generation"
+
+// etagFor renders the strong entity tag of a generation. Data only changes
+// on swap, so the generation alone identifies a resource's representation.
+func etagFor(gen uint64) string { return `"g` + strconv.FormatUint(gen, 10) + `"` }
+
+// etagMatches reports whether an If-None-Match header matches the ETag.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "W/"))
+		if part == etag || part == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// writeData renders the success envelope from one snapshot: generation
+// headers, strong ETag, If-None-Match revalidation (304), then the
+// {data, meta} body. listMeta may be nil for object endpoints.
+func (s *Server) writeData(w http.ResponseWriter, r *http.Request, snap *serving.Snapshot, data any, listMeta *meta) {
+	m := meta{}
+	if listMeta != nil {
+		m = *listMeta
+	}
+	m.Generation = snap.Generation()
+	etag := etagFor(m.Generation)
+	w.Header().Set("ETag", etag)
+	w.Header().Set(headerGeneration, strconv.FormatUint(m.Generation, 10))
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	writeJSON(w, http.StatusOK, envelope{Data: data, Meta: m})
 }
 
 // jsonErrorWriter intercepts non-JSON error responses (the ServeMux's own
@@ -192,13 +355,6 @@ func (w *jsonErrorWriter) Write(b []byte) (int, error) {
 		w.wrote = true
 	}
 	return w.ResponseWriter.Write(b)
-}
-
-// listPage is the envelope every list endpoint returns.
-type listPage struct {
-	Items      any    `json:"items"`
-	Total      int    `json:"total"`
-	NextCursor string `json:"nextCursor,omitempty"`
 }
 
 // writeJSON buffers the encoding of v so failures surface as a clean 500

@@ -30,10 +30,13 @@ func testDataset(t *testing.T) *core.Dataset {
 	return ds
 }
 
-func testServer(t *testing.T) *httptest.Server {
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func testServer(t *testing.T, opts ...Option) *httptest.Server {
 	t.Helper()
-	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	srv := httptest.NewServer(New(testDataset(t), WithLogger(logger)))
+	srv := httptest.NewServer(New(testDataset(t), append([]Option{WithLogger(testLogger())}, opts...)...))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -51,18 +54,39 @@ func getJSON(t *testing.T, url string, into any) int {
 	return resp.StatusCode
 }
 
-// page mirrors the list envelope.
-type page struct {
-	Items      []map[string]any `json:"items"`
-	Total      int              `json:"total"`
-	NextCursor string           `json:"nextCursor"`
+// respMeta mirrors the envelope's meta block.
+type respMeta struct {
+	Generation uint64 `json:"generation"`
+	Total      int    `json:"total"`
+	NextCursor string `json:"nextCursor"`
+}
+
+// getData decodes a {data, meta} envelope, unmarshaling data into `into`
+// (which may be nil to ignore the payload).
+func getData(t *testing.T, url string, into any) (int, respMeta) {
+	t.Helper()
+	var env struct {
+		Data json.RawMessage `json:"data"`
+		Meta respMeta        `json:"meta"`
+	}
+	code := getJSON(t, url, &env)
+	if into != nil && len(env.Data) > 0 && string(env.Data) != "null" {
+		if err := json.Unmarshal(env.Data, into); err != nil {
+			t.Fatalf("GET %s: data decode: %v", url, err)
+		}
+	}
+	return code, env.Meta
 }
 
 func TestStatsEndpoint(t *testing.T) {
 	srv := testServer(t)
 	var stats map[string]any
-	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != 200 {
+	code, m := getData(t, srv.URL+"/v1/stats", &stats)
+	if code != 200 {
 		t.Fatalf("status = %d", code)
+	}
+	if m.Generation == 0 {
+		t.Error("meta.generation missing")
 	}
 	if stats["mode"] != "trimming" {
 		t.Errorf("mode = %v", stats["mode"])
@@ -77,32 +101,34 @@ func TestStatsEndpoint(t *testing.T) {
 
 func TestListEnvelopes(t *testing.T) {
 	srv := testServer(t)
-	var years page
-	if code := getJSON(t, srv.URL+"/v1/years", &years); code != 200 || len(years.Items) == 0 {
+	var years []map[string]any
+	code, m := getData(t, srv.URL+"/v1/years", &years)
+	if code != 200 || len(years) == 0 {
 		t.Fatalf("years: code %d, %+v", code, years)
 	}
-	if years.Total != len(years.Items) {
-		t.Errorf("years total = %d, items = %d", years.Total, len(years.Items))
+	if m.Total != len(years) {
+		t.Errorf("years total = %d, items = %d", m.Total, len(years))
 	}
-	var versions page
-	if code := getJSON(t, srv.URL+"/v1/versions", &versions); code != 200 || versions.Total != 1 {
-		t.Fatalf("versions: code %d, %+v", code, versions)
+	var versions []map[string]any
+	code, m = getData(t, srv.URL+"/v1/versions", &versions)
+	if code != 200 || m.Total != 1 {
+		t.Fatalf("versions: code %d, total %d", code, m.Total)
 	}
 	var hist map[string]int
-	if code := getJSON(t, srv.URL+"/v1/histogram", &hist); code != 200 || len(hist) == 0 {
+	if code, _ := getData(t, srv.URL+"/v1/histogram", &hist); code != 200 || len(hist) == 0 {
 		t.Fatalf("histogram: code %d, %v", code, hist)
 	}
 }
 
 func TestClusterLookup(t *testing.T) {
 	srv := testServer(t)
-	var list page
-	if code := getJSON(t, srv.URL+"/v1/clusters?score=size&min=2&limit=1", &list); code != 200 || len(list.Items) == 0 {
+	var list []map[string]any
+	if code, _ := getData(t, srv.URL+"/v1/clusters?score=size&min=2&limit=1", &list); code != 200 || len(list) == 0 {
 		t.Fatalf("query: code %d, %+v", code, list)
 	}
-	ncid := list.Items[0]["ncid"].(string)
+	ncid := list[0]["ncid"].(string)
 	var doc map[string]any
-	if code := getJSON(t, srv.URL+"/v1/clusters/"+ncid, &doc); code != 200 {
+	if code, _ := getData(t, srv.URL+"/v1/clusters/"+ncid, &doc); code != 200 {
 		t.Fatalf("lookup code = %d", code)
 	}
 	if doc["_id"] != ncid {
@@ -110,6 +136,174 @@ func TestClusterLookup(t *testing.T) {
 	}
 	if _, ok := doc["records"]; !ok {
 		t.Error("cluster doc misses records")
+	}
+}
+
+func TestRecordsEndpoint(t *testing.T) {
+	ds := testDataset(t)
+	for _, mode := range []bool{true, false} {
+		srv := httptest.NewServer(New(ds, WithLogger(testLogger()), WithSnapshotServing(mode)))
+		var list []map[string]any
+		if code, _ := getData(t, srv.URL+"/v1/clusters?limit=1", &list); code != 200 || len(list) == 0 {
+			t.Fatalf("snapshot=%v: no clusters to look up", mode)
+		}
+		ncid := list[0]["ncid"].(string)
+		var view map[string]any
+		code, m := getData(t, srv.URL+"/v1/records/"+ncid, &view)
+		if code != 200 {
+			t.Fatalf("snapshot=%v: record lookup = %d", mode, code)
+		}
+		if m.Generation == 0 {
+			t.Errorf("snapshot=%v: record view misses generation", mode)
+		}
+		if view["ncid"] != ncid {
+			t.Errorf("snapshot=%v: view ncid = %v", mode, view["ncid"])
+		}
+		if _, ok := view["records"]; !ok {
+			t.Errorf("snapshot=%v: record view misses records", mode)
+		}
+		if _, ok := view["meta"]; ok {
+			t.Errorf("snapshot=%v: record view leaks the meta block", mode)
+		}
+		var env obs.ErrorEnvelope
+		if code := getJSON(t, srv.URL+"/v1/records/NOPE", &env); code != 404 || env.Error.Code != "not_found" {
+			t.Errorf("snapshot=%v: missing ncid: code %d, %+v", mode, code, env)
+		}
+		srv.Close()
+	}
+}
+
+func TestConditionalGet(t *testing.T) {
+	ds := testDataset(t)
+	api := New(ds, WithLogger(testLogger()))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	gen := resp.Header.Get(headerGeneration)
+	if etag == "" || gen == "" {
+		t.Fatalf("missing validators: etag=%q gen=%q", etag, gen)
+	}
+	if etag != etagFor(api.Generation()) {
+		t.Fatalf("etag = %q, want %q", etag, etagFor(api.Generation()))
+	}
+
+	// Revalidation with the current ETag answers 304 with no body.
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/stats", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("revalidation: status %d, body %q", resp.StatusCode, body)
+	}
+
+	// A swap invalidates the validator: the same If-None-Match now gets a
+	// full 200 with the new generation.
+	api.Publish(ds)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-swap revalidation: status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("ETag"); got == etag {
+		t.Fatalf("etag did not change across swap: %q", got)
+	}
+}
+
+func TestResponseCache(t *testing.T) {
+	ds := testDataset(t)
+	api := New(ds, WithLogger(testLogger()))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	get := func() (string, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/clusters/summary")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		return resp.Header.Get("X-Cache"), body
+	}
+	xc1, body1 := get()
+	xc2, body2 := get()
+	if xc1 != "miss" || xc2 != "hit" {
+		t.Fatalf("X-Cache sequence = %q, %q; want miss, hit", xc1, xc2)
+	}
+	if string(body1) != string(body2) {
+		t.Fatal("cache replay diverged from the computed response")
+	}
+	if hits := api.Metrics().Counter("serving_cache_hits"); hits != 1 {
+		t.Fatalf("serving_cache_hits = %d, want 1", hits)
+	}
+
+	// A swap changes the key generation: the next request is a miss again.
+	api.Publish(ds)
+	if xc, _ := get(); xc != "miss" {
+		t.Fatalf("post-swap X-Cache = %q, want miss", xc)
+	}
+
+	// Disabled cache serves identical data without the X-Cache header.
+	plain := httptest.NewServer(New(ds, WithLogger(testLogger()), WithResponseCache(-1)))
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/v1/clusters/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Cache") != "" {
+		t.Fatal("cache disabled but X-Cache header present")
+	}
+}
+
+func TestReadinessLifecycle(t *testing.T) {
+	api := NewDeferred(WithLogger(testLogger()))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	// Not ready: data endpoints and healthz answer 503 not_ready; livez is
+	// alive at generation 0.
+	for _, path := range []string{"/v1/healthz", "/v1/stats", "/v1/clusters/summary", "/v1/records/x"} {
+		var env obs.ErrorEnvelope
+		if code := getJSON(t, srv.URL+path, &env); code != 503 || env.Error.Code != "not_ready" {
+			t.Fatalf("%s before publish: code %d, %+v", path, code, env)
+		}
+	}
+	var live map[string]any
+	code, m := getData(t, srv.URL+"/v1/livez", &live)
+	if code != 200 || live["status"] != "alive" || m.Generation != 0 {
+		t.Fatalf("livez before publish: code %d, %v, gen %d", code, live, m.Generation)
+	}
+
+	if gen := api.Publish(testDataset(t)); gen != 1 {
+		t.Fatalf("first publish generation = %d", gen)
+	}
+	var health map[string]any
+	code, m = getData(t, srv.URL+"/v1/healthz", &health)
+	if code != 200 || health["status"] != "ready" || m.Generation != 1 {
+		t.Fatalf("healthz after publish: code %d, %v, gen %d", code, health, m.Generation)
+	}
+	if health["clusters"].(float64) <= 0 {
+		t.Fatalf("healthz misses corpus shape: %v", health)
 	}
 }
 
@@ -130,6 +324,7 @@ func TestErrorEnvelopes(t *testing.T) {
 		{"garbage cursor", "GET", "/v1/clusters?cursor=!!!", 400, "bad_cursor"},
 		{"forged cursor", "GET", "/v1/clusters?cursor=Tk9QRQ", 400, "bad_cursor"},
 		{"unknown cluster", "GET", "/v1/clusters/NOPE", 404, "not_found"},
+		{"unknown record", "GET", "/v1/records/NOPE", 404, "not_found"},
 		{"unknown path", "GET", "/v1/nope", 404, "not_found"},
 		{"method not allowed", "POST", "/v1/clusters", 405, "method_not_allowed"},
 		{"method not allowed legacy", "DELETE", "/v1/stats", 405, "method_not_allowed"},
@@ -168,44 +363,46 @@ func TestErrorEnvelopes(t *testing.T) {
 func TestCursorPagination(t *testing.T) {
 	srv := testServer(t)
 	// Full result in one oversized page is the reference.
-	var full page
-	if code := getJSON(t, srv.URL+"/v1/clusters?score=size&min=1&limit=1000", &full); code != 200 {
+	var full []map[string]any
+	code, fm := getData(t, srv.URL+"/v1/clusters?score=size&min=1&limit=1000", &full)
+	if code != 200 {
 		t.Fatalf("reference query code = %d", code)
 	}
-	if full.Total != len(full.Items) {
-		t.Fatalf("reference total %d != items %d", full.Total, len(full.Items))
+	if fm.Total != len(full) {
+		t.Fatalf("reference total %d != items %d", fm.Total, len(full))
 	}
 	// Walk the same range in pages of 7.
 	var walked []string
 	cursor := ""
 	for pages := 0; ; pages++ {
-		if pages > len(full.Items) {
+		if pages > len(full) {
 			t.Fatal("pagination does not terminate")
 		}
 		url := srv.URL + "/v1/clusters?score=size&min=1&limit=7"
 		if cursor != "" {
 			url += "&cursor=" + cursor
 		}
-		var p page
-		if code := getJSON(t, url, &p); code != 200 {
+		var items []map[string]any
+		code, m := getData(t, url, &items)
+		if code != 200 {
 			t.Fatalf("page %d code = %d", pages, code)
 		}
-		if len(p.Items) > 7 {
-			t.Fatalf("page %d oversize: %d items", pages, len(p.Items))
+		if len(items) > 7 {
+			t.Fatalf("page %d oversize: %d items", pages, len(items))
 		}
-		if p.Total != full.Total {
-			t.Fatalf("page %d total = %d, want %d", pages, p.Total, full.Total)
+		if m.Total != fm.Total {
+			t.Fatalf("page %d total = %d, want %d", pages, m.Total, fm.Total)
 		}
-		for _, it := range p.Items {
+		for _, it := range items {
 			walked = append(walked, it["ncid"].(string))
 		}
-		if p.NextCursor == "" {
+		if m.NextCursor == "" {
 			break
 		}
-		cursor = p.NextCursor
+		cursor = m.NextCursor
 	}
-	if len(walked) != len(full.Items) {
-		t.Fatalf("walked %d clusters, want %d", len(walked), len(full.Items))
+	if len(walked) != len(full) {
+		t.Fatalf("walked %d clusters, want %d", len(walked), len(full))
 	}
 	seen := map[string]bool{}
 	for i, id := range walked {
@@ -213,7 +410,7 @@ func TestCursorPagination(t *testing.T) {
 			t.Fatalf("duplicate %s across pages", id)
 		}
 		seen[id] = true
-		if full.Items[i]["ncid"] != id {
+		if full[i]["ncid"] != id {
 			t.Fatalf("order diverges at %d", i)
 		}
 	}
@@ -221,11 +418,11 @@ func TestCursorPagination(t *testing.T) {
 
 func TestScoreRangeBounds(t *testing.T) {
 	srv := testServer(t)
-	var suspects page
-	if code := getJSON(t, srv.URL+"/v1/clusters?score=plausibility&max=0.99", &suspects); code != 200 {
+	var suspects []map[string]any
+	if code, _ := getData(t, srv.URL+"/v1/clusters?score=plausibility&max=0.99", &suspects); code != 200 {
 		t.Fatalf("code = %d", code)
 	}
-	for _, s := range suspects.Items {
+	for _, s := range suspects {
 		if p, ok := s["plausibility"].(float64); !ok || p > 0.99 {
 			t.Errorf("out-of-range result: %v", s)
 		}
@@ -255,18 +452,52 @@ func TestLegacyPathsRedirect(t *testing.T) {
 	}
 	// A default client follows the alias transparently.
 	var stats map[string]any
-	if code := getJSON(t, srv.URL+"/stats", &stats); code != 200 || stats["mode"] != "trimming" {
+	if code, _ := getData(t, srv.URL+"/stats", &stats); code != 200 || stats["mode"] != "trimming" {
 		t.Fatalf("followed legacy /stats: code %d, %v", code, stats)
+	}
+}
+
+// TestLegacyRedirectMethodAndQuery is the regression test for the redirect
+// bugs: the query string must survive the redirect, and non-GET methods
+// must get 308 (which preserves the method) instead of 301 (which lets
+// clients degrade to GET).
+func TestLegacyRedirectMethodAndQuery(t *testing.T) {
+	srv := testServer(t)
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+
+	req, _ := http.NewRequest("POST", srv.URL+"/clusters?score=size&min=2", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPermanentRedirect {
+		t.Fatalf("POST redirect status = %d, want %d", resp.StatusCode, http.StatusPermanentRedirect)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/clusters?score=size&min=2" {
+		t.Fatalf("POST redirect location = %q", loc)
+	}
+
+	req, _ = http.NewRequest("HEAD", srv.URL+"/stats", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMovedPermanently {
+		t.Fatalf("HEAD redirect status = %d, want 301", resp.StatusCode)
 	}
 }
 
 func TestMetricsEndpoint(t *testing.T) {
 	srv := testServer(t)
 	var stats map[string]any
-	getJSON(t, srv.URL+"/v1/stats", &stats)
-	getJSON(t, srv.URL+"/v1/stats", &stats)
-	var list page
-	getJSON(t, srv.URL+"/v1/clusters?limit=5", &list)
+	getData(t, srv.URL+"/v1/stats", &stats)
+	getData(t, srv.URL+"/v1/stats", &stats)
+	var list []map[string]any
+	getData(t, srv.URL+"/v1/clusters?limit=5", &list)
 
 	var snap obs.Snapshot
 	if code := getJSON(t, srv.URL+"/metrics", &snap); code != 200 {
@@ -294,6 +525,16 @@ func TestMetricsEndpoint(t *testing.T) {
 	text, _ := io.ReadAll(resp.Body)
 	if !strings.Contains(string(text), `http_requests_total{route="GET /v1/stats",code="200"} 2`) {
 		t.Fatalf("prometheus output misses stats counter:\n%s", text)
+	}
+	// The serving layer's counters surface in their own family: one swap
+	// from New, one cache hit from the repeated stats request.
+	for _, want := range []string{
+		`serving_total{counter="swaps"} 1`,
+		`serving_total{counter="cache_hits"} 1`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("prometheus output misses %q:\n%s", want, text)
+		}
 	}
 }
 

@@ -2,49 +2,72 @@ package httpapi
 
 import (
 	"net/http"
-	"strconv"
+
+	"repro/internal/serving"
 )
 
 // metaRoutes serves the dataset-level resources: statistics, import
-// history, cluster-size histogram and published versions.
+// history, cluster-size histogram and published versions. All four are
+// pure functions of the snapshot, so they are cacheable.
 func (s *Server) metaRoutes() []route {
 	return []route{
-		{"GET", "/stats", s.handleStats},
-		{"GET", "/years", s.handleYears},
-		{"GET", "/histogram", s.handleHistogram},
-		{"GET", "/versions", s.handleVersions},
+		{"GET", "/stats", s.handleStats, true},
+		{"GET", "/years", s.handleYears, true},
+		{"GET", "/histogram", s.handleHistogram, true},
+		{"GET", "/versions", s.handleVersions, true},
 	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"mode":           s.ds.Mode.String(),
-		"clusters":       s.ds.NumClusters(),
-		"records":        s.ds.NumRecords(),
-		"duplicatePairs": s.ds.NumPairs(),
-		"totalRows":      s.ds.TotalRows(),
-		"removedRecords": s.ds.RemovedRecords(),
-		"avgClusterSize": s.ds.AvgClusterSize(),
-		"maxClusterSize": s.ds.MaxClusterSize(),
-		"versions":       len(s.ds.Versions()),
-	})
+	snap := s.requireSnapshot(w, r)
+	if snap == nil {
+		return
+	}
+	if snap.Precomputed() {
+		s.writeData(w, r, snap, snap.Stats(), nil)
+		return
+	}
+	s.writeData(w, r, snap, serving.StatsPayload(snap.Dataset()), nil)
 }
 
 func (s *Server) handleYears(w http.ResponseWriter, r *http.Request) {
-	years := s.ds.YearlyStats()
-	writeJSON(w, http.StatusOK, listPage{Items: years, Total: len(years)})
+	snap := s.requireSnapshot(w, r)
+	if snap == nil {
+		return
+	}
+	if snap.Precomputed() {
+		raw, total := snap.Years()
+		s.writeData(w, r, snap, raw, &meta{Total: &total})
+		return
+	}
+	years := snap.Dataset().YearlyStats()
+	total := len(years)
+	s.writeData(w, r, snap, years, &meta{Total: &total})
 }
 
 func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
-	hist := s.ds.ClusterSizeHistogram()
-	out := map[string]int{}
-	for size, n := range hist {
-		out[strconv.Itoa(size)] = n
+	snap := s.requireSnapshot(w, r)
+	if snap == nil {
+		return
 	}
-	writeJSON(w, http.StatusOK, out)
+	if snap.Precomputed() {
+		s.writeData(w, r, snap, snap.Histogram(), nil)
+		return
+	}
+	s.writeData(w, r, snap, serving.HistogramPayload(snap.Dataset()), nil)
 }
 
 func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
-	versions := s.ds.Versions()
-	writeJSON(w, http.StatusOK, listPage{Items: versions, Total: len(versions)})
+	snap := s.requireSnapshot(w, r)
+	if snap == nil {
+		return
+	}
+	if snap.Precomputed() {
+		raw, total := snap.Versions()
+		s.writeData(w, r, snap, raw, &meta{Total: &total})
+		return
+	}
+	versions := snap.Dataset().Versions()
+	total := len(versions)
+	s.writeData(w, r, snap, versions, &meta{Total: &total})
 }

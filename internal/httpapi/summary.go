@@ -7,103 +7,43 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/docstore"
+	"repro/internal/serving"
 )
 
-// scoreBins is the histogram resolution of the summary's score quantiles.
-// Scores live in [0, 1]; 1000 bins give 0.001 resolution, and integer bin
-// counts merge commutatively, so the parallel scan is deterministic — no
-// float accumulation order can change the answer.
-const scoreBins = 1000
-
-// summaryRoutes serves the whole-store aggregation endpoint.
+// summaryRoutes serves the whole-store aggregation endpoint — the hottest
+// and most expensive read, hence cacheable.
 func (s *Server) summaryRoutes() []route {
 	return []route{
-		{"GET", "/clusters/summary", s.handleClusterSummary},
+		{"GET", "/clusters/summary", s.handleClusterSummary, true},
 	}
 }
 
-// scoreSummary aggregates one cluster-level score across the store.
-type scoreSummary struct {
-	count int64
-	min   float64
-	max   float64
-	bins  [scoreBins]int64
-}
-
-// add folds one observation in; the caller holds the accumulator lock.
-func (a *scoreSummary) add(v float64) {
-	if a.count == 0 || v < a.min {
-		a.min = v
-	}
-	if a.count == 0 || v > a.max {
-		a.max = v
-	}
-	a.count++
-	bin := int(v * scoreBins)
-	if bin < 0 {
-		bin = 0
-	}
-	if bin >= scoreBins {
-		bin = scoreBins - 1
-	}
-	a.bins[bin]++
-}
-
-// quantile estimates the q-quantile from the histogram: the midpoint of the
-// first bin whose cumulative count reaches q of the total. Resolution is
-// 1/scoreBins; the estimate is deterministic for any fold order.
-func (a *scoreSummary) quantile(q float64) float64 {
-	if a.count == 0 {
-		return 0
-	}
-	target := int64(q * float64(a.count))
-	if target < 1 {
-		target = 1
-	}
-	var cum int64
-	for i, n := range a.bins {
-		cum += n
-		if cum >= target {
-			return (float64(i) + 0.5) / scoreBins
-		}
-	}
-	return a.max
-}
-
-// render exports the summary; nil when the score never occurred.
-func (a *scoreSummary) render() map[string]any {
-	if a.count == 0 {
-		return nil
-	}
-	return map[string]any{
-		"count": a.count,
-		"min":   a.min,
-		"max":   a.max,
-		"p10":   a.quantile(0.10),
-		"p50":   a.quantile(0.50),
-		"p90":   a.quantile(0.90),
-	}
-}
-
-// handleClusterSummary aggregates the cluster store in one scan — cluster
+// handleClusterSummary aggregates the served clusters in one pass — cluster
 // and record counts, size extremes, and histogram-estimated plausibility/
 // heterogeneity quantiles:
 //
 //	GET /v1/clusters/summary
 //	GET /v1/clusters/summary?minSize=2&maxSize=10
 //
-// The unfiltered form runs a parallel scan on the server's store-worker
-// pool (ForEachParallel); with size bounds it runs a streaming Pipeline
-// whose Match pushes down to the cluster collection's ordered size index,
-// so only matching clusters are visited. All accumulators are counts,
-// extremes and integer histogram bins, so the response is identical for any
-// worker count.
+// In snapshot mode the unfiltered payload was marshaled at build time and a
+// size-filtered request folds a binary-searched slice of the snapshot's
+// size-sorted summary table — no document visits either way. In store mode
+// the unfiltered form runs a parallel scan on the server's store-worker
+// pool and the filtered form runs a streaming Pipeline whose Match pushes
+// down to the ordered size index. All accumulators are counts, extremes and
+// integer histogram bins (serving.SummaryAccumulator), so every path yields
+// the identical payload.
 func (s *Server) handleClusterSummary(w http.ResponseWriter, r *http.Request) {
-	var sizeFilters []docstore.Filter
+	snap := s.requireSnapshot(w, r)
+	if snap == nil {
+		return
+	}
+	var bounds serving.SizeBounds
 	for _, bound := range []struct {
 		param string
-		mk    func(string, any) docstore.Filter
-	}{{"minSize", docstore.Gte}, {"maxSize", docstore.Lte}} {
+		val   *int64
+		has   *bool
+	}{{"minSize", &bounds.Min, &bounds.HasMin}, {"maxSize", &bounds.Max, &bounds.HasMax}} {
 		v := r.URL.Query().Get(bound.param)
 		if v == "" {
 			continue
@@ -113,17 +53,18 @@ func (s *Server) handleClusterSummary(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad_request", bound.param+" must be an integer")
 			return
 		}
-		sizeFilters = append(sizeFilters, bound.mk("size", float64(n)))
+		*bound.val = int64(n)
+		*bound.has = true
+	}
+
+	if snap.Precomputed() {
+		s.writeData(w, r, snap, snap.Summary(bounds), nil)
+		return
 	}
 
 	var (
-		mu       sync.Mutex
-		clusters int64
-		records  int64
-		minSize  int64
-		maxSize  int64
-		plaus    scoreSummary
-		hetero   scoreSummary
+		mu  sync.Mutex
+		acc serving.SummaryAccumulator
 	)
 	fold := func(d docstore.Document) {
 		var size int64
@@ -134,45 +75,24 @@ func (s *Server) handleClusterSummary(w http.ResponseWriter, r *http.Request) {
 		}
 		p, hasP := d["plausibility"].(float64)
 		h, hasH := d["heterogeneity"].(float64)
-
 		mu.Lock()
-		defer mu.Unlock()
-		if clusters == 0 || size < minSize {
-			minSize = size
-		}
-		if clusters == 0 || size > maxSize {
-			maxSize = size
-		}
-		clusters++
-		records += size
-		if hasP {
-			plaus.add(p)
-		}
-		if hasH {
-			hetero.add(h)
-		}
+		acc.Add(size, p, hasP, h, hasH)
+		mu.Unlock()
 	}
-	col := s.db.Collection(core.ClustersCollection)
-	if len(sizeFilters) > 0 {
+	col := snap.DB().Collection(core.ClustersCollection)
+	if bounds.Unbounded() {
+		col.ForEachParallel(s.storeWorkers, fold)
+	} else {
+		var sizeFilters []docstore.Filter
+		if bounds.HasMin {
+			sizeFilters = append(sizeFilters, docstore.Gte("size", float64(bounds.Min)))
+		}
+		if bounds.HasMax {
+			sizeFilters = append(sizeFilters, docstore.Lte("size", float64(bounds.Max)))
+		}
 		for _, d := range col.Pipeline(docstore.Match{Filter: docstore.And(sizeFilters...)}) {
 			fold(d)
 		}
-	} else {
-		col.ForEachParallel(s.storeWorkers, fold)
 	}
-
-	body := map[string]any{
-		"clusters": clusters,
-		"records":  records,
-	}
-	if clusters > 0 {
-		body["size"] = map[string]any{"min": minSize, "max": maxSize}
-	}
-	if ps := plaus.render(); ps != nil {
-		body["plausibility"] = ps
-	}
-	if hs := hetero.render(); hs != nil {
-		body["heterogeneity"] = hs
-	}
-	writeJSON(w, http.StatusOK, body)
+	s.writeData(w, r, snap, acc.Payload(), nil)
 }

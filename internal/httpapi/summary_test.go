@@ -2,7 +2,6 @@ package httpapi
 
 import (
 	"io"
-	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -12,23 +11,26 @@ import (
 
 func TestClusterSummary(t *testing.T) {
 	ds := testDataset(t)
-	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 
-	// The aggregation must not depend on the scan's worker count.
+	// The aggregation must not depend on the serving mode or on the worker
+	// count of either the store scan or the snapshot build.
 	var ref map[string]any
-	for _, workers := range []int{1, 2, 7} {
-		srv := httptest.NewServer(New(ds, WithLogger(logger), WithStoreWorkers(workers)))
-		var got map[string]any
-		if code := getJSON(t, srv.URL+"/v1/clusters/summary", &got); code != 200 {
-			t.Fatalf("workers=%d: summary code = %d", workers, code)
-		}
-		srv.Close()
-		if ref == nil {
-			ref = got
-			continue
-		}
-		if !reflect.DeepEqual(got, ref) {
-			t.Errorf("workers=%d: summary diverged from workers=1:\n%v\nvs\n%v", workers, got, ref)
+	for _, snapshot := range []bool{false, true} {
+		for _, workers := range []int{1, 2, 7} {
+			srv := httptest.NewServer(New(ds, WithLogger(testLogger()),
+				WithStoreWorkers(workers), WithSnapshotServing(snapshot)))
+			var got map[string]any
+			if code, _ := getData(t, srv.URL+"/v1/clusters/summary", &got); code != 200 {
+				t.Fatalf("snapshot=%v workers=%d: summary code = %d", snapshot, workers, code)
+			}
+			srv.Close()
+			if ref == nil {
+				ref = got
+				continue
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("snapshot=%v workers=%d: summary diverged:\n%v\nvs\n%v", snapshot, workers, got, ref)
+			}
 		}
 	}
 
@@ -61,18 +63,18 @@ func TestSummaryDoesNotShadowClusterLookup(t *testing.T) {
 	// "/clusters/summary" is more specific than "/clusters/{ncid}"; both
 	// must keep working side by side.
 	srv := testServer(t)
-	var list page
-	getJSON(t, srv.URL+"/v1/clusters?limit=1", &list)
-	if len(list.Items) == 0 {
+	var list []map[string]any
+	getData(t, srv.URL+"/v1/clusters?limit=1", &list)
+	if len(list) == 0 {
 		t.Fatal("no clusters to look up")
 	}
-	ncid, _ := list.Items[0]["ncid"].(string)
+	ncid, _ := list[0]["ncid"].(string)
 	var doc map[string]any
-	if code := getJSON(t, srv.URL+"/v1/clusters/"+ncid, &doc); code != 200 {
+	if code, _ := getData(t, srv.URL+"/v1/clusters/"+ncid, &doc); code != 200 {
 		t.Fatalf("cluster lookup = %d", code)
 	}
 	var sum map[string]any
-	if code := getJSON(t, srv.URL+"/v1/clusters/summary", &sum); code != 200 {
+	if code, _ := getData(t, srv.URL+"/v1/clusters/summary", &sum); code != 200 {
 		t.Fatalf("summary = %d", code)
 	}
 	if _, ok := sum["clusters"]; !ok {
@@ -81,35 +83,42 @@ func TestSummaryDoesNotShadowClusterLookup(t *testing.T) {
 }
 
 func TestSummarySizeFilter(t *testing.T) {
-	srv := testServer(t)
-	var all, filtered map[string]any
-	getJSON(t, srv.URL+"/v1/clusters/summary", &all)
-	if code := getJSON(t, srv.URL+"/v1/clusters/summary?minSize=2", &filtered); code != 200 {
-		t.Fatalf("filtered summary code = %d", code)
-	}
-	allN, _ := all["clusters"].(float64)
-	fN, _ := filtered["clusters"].(float64)
-	if fN <= 0 || fN > allN {
-		t.Fatalf("filtered clusters = %v, all = %v", fN, allN)
-	}
-	if size, ok := filtered["size"].(map[string]any); ok {
-		if lo, _ := size["min"].(float64); lo < 2 {
-			t.Errorf("minSize=2 returned a cluster of size %v", lo)
+	ds := testDataset(t)
+	for _, snapshot := range []bool{false, true} {
+		srv := httptest.NewServer(New(ds, WithLogger(testLogger()), WithSnapshotServing(snapshot)))
+		var all, filtered map[string]any
+		getData(t, srv.URL+"/v1/clusters/summary", &all)
+		if code, _ := getData(t, srv.URL+"/v1/clusters/summary?minSize=2", &filtered); code != 200 {
+			t.Fatalf("snapshot=%v: filtered summary code = %d", snapshot, code)
 		}
-	}
-	var bad map[string]any
-	if code := getJSON(t, srv.URL+"/v1/clusters/summary?minSize=two", &bad); code != 400 {
-		t.Errorf("malformed minSize code = %d, want 400", code)
+		allN, _ := all["clusters"].(float64)
+		fN, _ := filtered["clusters"].(float64)
+		if fN <= 0 || fN > allN {
+			t.Fatalf("snapshot=%v: filtered clusters = %v, all = %v", snapshot, fN, allN)
+		}
+		if size, ok := filtered["size"].(map[string]any); ok {
+			if lo, _ := size["min"].(float64); lo < 2 {
+				t.Errorf("snapshot=%v: minSize=2 returned a cluster of size %v", snapshot, lo)
+			}
+		}
+		var bad map[string]any
+		if code, _ := getData(t, srv.URL+"/v1/clusters/summary?minSize=two", &bad); code != 400 {
+			t.Errorf("snapshot=%v: malformed minSize code = %d, want 400", snapshot, code)
+		}
+		srv.Close()
 	}
 }
 
 func TestDocstoreCountersReachMetrics(t *testing.T) {
-	// The size-filtered summary runs a Pipeline whose Match pushes down to
-	// the ordered size index; the resulting docstore counters must land in
-	// the server's metrics registry via the DB observer wiring.
-	srv := testServer(t)
+	// In store-backed mode the size-filtered summary runs a Pipeline whose
+	// Match pushes down to the ordered size index; the resulting docstore
+	// counters must land in the server's metrics registry via the DB
+	// observer wiring. (Snapshot mode never touches the store on this path —
+	// that is the point of the snapshot.)
+	srv := httptest.NewServer(New(testDataset(t), WithLogger(testLogger()), WithSnapshotServing(false)))
+	defer srv.Close()
 	var sum map[string]any
-	getJSON(t, srv.URL+"/v1/clusters/summary?minSize=1", &sum)
+	getData(t, srv.URL+"/v1/clusters/summary?minSize=1", &sum)
 
 	resp, err := http.Get(srv.URL + "/metrics?format=prometheus")
 	if err != nil {

@@ -1,0 +1,100 @@
+package loadgen
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+func TestScheduleWeightedAndDeterministic(t *testing.T) {
+	targets := []Target{
+		{Route: "a", Paths: []string{"/a1", "/a2"}, Weight: 3},
+		{Route: "b", Paths: []string{"/b"}, Weight: 1},
+	}
+	plan := schedule(targets, 400)
+	if len(plan) != 400 {
+		t.Fatalf("plan length = %d", len(plan))
+	}
+	counts := map[int]int{}
+	for _, p := range plan {
+		counts[p.target]++
+	}
+	// 3:1 weights over 400 requests → exactly 300/100.
+	if counts[0] != 300 || counts[1] != 100 {
+		t.Fatalf("weighted split = %v", counts)
+	}
+	// Smooth WRR interleaves: the heaviest target never starves the other
+	// for a full weight cycle.
+	for i := 0; i+4 <= len(plan); i += 4 {
+		window := map[int]int{}
+		for _, p := range plan[i : i+4] {
+			window[p.target]++
+		}
+		if window[1] != 1 {
+			t.Fatalf("window at %d not interleaved: %v", i, window)
+		}
+	}
+	// Paths cycle within a target.
+	if plan[0].path != "/a1" {
+		t.Fatalf("first path = %q", plan[0].path)
+	}
+	// The same inputs produce the identical plan.
+	if !reflect.DeepEqual(plan, schedule(targets, 400)) {
+		t.Fatal("schedule is not deterministic")
+	}
+}
+
+func TestRunCountsAndQuantiles(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ok", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+		w.Write([]byte(`{}`))
+	})
+	mux.HandleFunc("GET /missing", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", 404)
+	})
+	targets := []Target{
+		{Route: "ok", Paths: []string{"/ok"}, Weight: 3},
+		{Route: "missing", Paths: []string{"/missing"}, Weight: 1},
+	}
+	res := Run(mux, targets, Config{Workers: 4, Requests: 200})
+	if res.Workers != 4 || res.Requests != 200 {
+		t.Fatalf("config echo: %+v", res)
+	}
+	if res.Errors != 50 {
+		t.Fatalf("errors = %d, want 50 (the 404 leg)", res.Errors)
+	}
+	if res.ReqPerSec <= 0 || res.Seconds <= 0 {
+		t.Fatalf("throughput missing: %+v", res)
+	}
+	if res.P50MS > res.P95MS || res.P95MS > res.P99MS || res.P99MS > res.MaxMS {
+		t.Fatalf("quantiles out of order: %+v", res)
+	}
+	if len(res.Routes) != 2 {
+		t.Fatalf("routes = %d", len(res.Routes))
+	}
+	byRoute := map[string]RouteStats{}
+	for _, r := range res.Routes {
+		byRoute[r.Route] = r
+	}
+	if byRoute["ok"].Requests != 150 || byRoute["ok"].Errors != 0 {
+		t.Fatalf("ok leg = %+v", byRoute["ok"])
+	}
+	if byRoute["missing"].Requests != 50 || byRoute["missing"].Errors != 50 {
+		t.Fatalf("missing leg = %+v", byRoute["missing"])
+	}
+}
+
+func TestQuantilesExact(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(100 - i) // 1..100, reversed
+	}
+	p50, p95, p99, max := quantiles(samples)
+	if p50 != 50 || p95 != 95 || p99 != 99 || max != 100 {
+		t.Fatalf("quantiles = %v %v %v %v", p50, p95, p99, max)
+	}
+	if a, b, c, d := quantiles(nil); a+b+c+d != 0 {
+		t.Fatal("empty quantiles not zero")
+	}
+}

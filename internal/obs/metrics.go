@@ -194,7 +194,7 @@ func (m *Metrics) PrometheusText() string {
 	// Counters split into four families: the ingest pipeline's ingest_*
 	// counters, the scoring engine's score_* counters, the document store's
 	// docstore_* counters, and the middleware's serving events.
-	var eventNames, ingestNames, scoreNames, docstoreNames []string
+	var eventNames, ingestNames, scoreNames, docstoreNames, servingNames []string
 	for name := range snap.Counters {
 		switch {
 		case strings.HasPrefix(name, "ingest_"):
@@ -203,6 +203,8 @@ func (m *Metrics) PrometheusText() string {
 			scoreNames = append(scoreNames, name)
 		case strings.HasPrefix(name, "docstore_"):
 			docstoreNames = append(docstoreNames, name)
+		case strings.HasPrefix(name, "serving_"):
+			servingNames = append(servingNames, name)
 		default:
 			eventNames = append(eventNames, name)
 		}
@@ -211,6 +213,7 @@ func (m *Metrics) PrometheusText() string {
 	sort.Strings(ingestNames)
 	sort.Strings(scoreNames)
 	sort.Strings(docstoreNames)
+	sort.Strings(servingNames)
 	fmt.Fprintf(&b, "# HELP http_server_events_total Middleware events (panics, timeouts, shed).\n")
 	fmt.Fprintf(&b, "# TYPE http_server_events_total counter\n")
 	for _, name := range eventNames {
@@ -236,6 +239,14 @@ func (m *Metrics) PrometheusText() string {
 		fmt.Fprintf(&b, "# TYPE docstore_pipeline_total counter\n")
 		for _, name := range docstoreNames {
 			fmt.Fprintf(&b, "docstore_pipeline_total{counter=%q} %d\n", strings.TrimPrefix(name, "docstore_"), snap.Counters[name])
+		}
+	}
+
+	if len(servingNames) > 0 {
+		fmt.Fprintf(&b, "# HELP serving_total Serving-snapshot counters (swaps, response-cache hits/misses/evictions).\n")
+		fmt.Fprintf(&b, "# TYPE serving_total counter\n")
+		for _, name := range servingNames {
+			fmt.Fprintf(&b, "serving_total{counter=%q} %d\n", strings.TrimPrefix(name, "serving_"), snap.Counters[name])
 		}
 	}
 

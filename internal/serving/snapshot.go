@@ -1,0 +1,244 @@
+package serving
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/docstore"
+)
+
+// Snapshot is one immutable, read-optimized view of a dataset: the dataset
+// and its materialized document database (for the endpoints that scan
+// indexes), plus — when built with Precompute — the fully marshaled
+// payloads of every dataset-level endpoint, the per-NCID record-view
+// lookup table, and the per-cluster score summaries the size-filtered
+// aggregation folds over. All fields are written once by Build (and the
+// generation by Source.Swap) and never mutated afterwards, which is what
+// makes lock-free serving sound.
+type Snapshot struct {
+	generation uint64
+	ds         *core.Dataset
+	db         *docstore.DB
+
+	precomputed bool
+	stats       json.RawMessage
+	years       json.RawMessage
+	yearsTotal  int
+	histogram   json.RawMessage
+	versions    json.RawMessage
+	versTotal   int
+	summary     json.RawMessage
+	records     map[string]json.RawMessage
+	summaries   []ClusterSummary // sorted by Size ascending
+}
+
+// ClusterSummary is the per-cluster slice of the snapshot's aggregation
+// table: everything /v1/clusters/summary needs, 40 bytes per cluster
+// instead of a document visit.
+type ClusterSummary struct {
+	Size      int64
+	Plaus     float64
+	HasPlaus  bool
+	Hetero    float64
+	HasHetero bool
+}
+
+// SizeBounds is the inclusive cluster-size filter of the summary endpoint;
+// the Has flags distinguish "unbounded" from a zero bound.
+type SizeBounds struct {
+	Min, Max       int64
+	HasMin, HasMax bool
+}
+
+// Unbounded reports whether no size filter is set.
+func (b SizeBounds) Unbounded() bool { return !b.HasMin && !b.HasMax }
+
+// BuildOpts tunes Build.
+type BuildOpts struct {
+	// Workers is the worker count of the parallel precompute scan
+	// (0 = GOMAXPROCS). The built snapshot is identical at any count.
+	Workers int
+	// Precompute materializes the read-optimized tables and payloads.
+	// Without it the snapshot only carries the dataset, the database and
+	// the generation — the store-backed serving mode.
+	Precompute bool
+}
+
+// Build freezes one dataset version into a snapshot. The document database
+// must be the materialization of ds (core.Dataset.ToDocDB). With
+// opts.Precompute, every cluster document is visited once by a parallel,
+// rank-addressed scan, so the precompute cost is paid at build time — and
+// parallelized — instead of per request.
+func Build(ds *core.Dataset, db *docstore.DB, opts BuildOpts) *Snapshot {
+	sn := &Snapshot{ds: ds, db: db, precomputed: opts.Precompute}
+	if !opts.Precompute {
+		return sn
+	}
+	sn.stats = mustMarshal(StatsPayload(ds))
+	years := ds.YearlyStats()
+	sn.years = mustMarshal(years)
+	sn.yearsTotal = len(years)
+	sn.histogram = mustMarshal(HistogramPayload(ds))
+	versions := ds.Versions()
+	sn.versions = mustMarshal(versions)
+	sn.versTotal = len(versions)
+
+	col := db.Collection(core.ClustersCollection)
+	n := col.Len()
+	ids := make([]string, n)
+	views := make([]json.RawMessage, n)
+	sums := make([]ClusterSummary, n)
+	col.ForEachIndexedParallel(opts.Workers, func(rank int, doc docstore.Document) {
+		ids[rank], _ = doc["_id"].(string)
+		views[rank] = mustMarshal(RecordViewPayload(doc))
+		sums[rank] = summaryEntry(doc)
+	})
+	sn.records = make(map[string]json.RawMessage, n)
+	for i, id := range ids {
+		sn.records[id] = views[i]
+	}
+	// Stable sort: equal sizes keep insertion order, so the table is
+	// identical for any build worker count.
+	sort.SliceStable(sums, func(i, j int) bool { return sums[i].Size < sums[j].Size })
+	sn.summaries = sums
+	sn.summary = mustMarshal(sn.foldSummary(SizeBounds{}))
+	return sn
+}
+
+// Generation returns the generation stamped by Source.Swap (0 before).
+func (sn *Snapshot) Generation() uint64 { return sn.generation }
+
+// Dataset returns the dataset this snapshot was built from. Callers must
+// treat it as read-only.
+func (sn *Snapshot) Dataset() *core.Dataset { return sn.ds }
+
+// DB returns the materialized document database of this generation.
+// Callers must treat it as read-only.
+func (sn *Snapshot) DB() *docstore.DB { return sn.db }
+
+// Precomputed reports whether the read-optimized tables were built.
+func (sn *Snapshot) Precomputed() bool { return sn.precomputed }
+
+// Stats returns the marshaled /v1/stats payload.
+func (sn *Snapshot) Stats() json.RawMessage { return sn.stats }
+
+// Years returns the marshaled /v1/years items and their count.
+func (sn *Snapshot) Years() (json.RawMessage, int) { return sn.years, sn.yearsTotal }
+
+// Histogram returns the marshaled /v1/histogram payload.
+func (sn *Snapshot) Histogram() json.RawMessage { return sn.histogram }
+
+// Versions returns the marshaled /v1/versions items and their count.
+func (sn *Snapshot) Versions() (json.RawMessage, int) { return sn.versions, sn.versTotal }
+
+// RecordView returns the marshaled /v1/records/{ncid} payload of one
+// cluster — the O(1) census-lookup path.
+func (sn *Snapshot) RecordView(ncid string) (json.RawMessage, bool) {
+	raw, ok := sn.records[ncid]
+	return raw, ok
+}
+
+// NumRecordViews returns the size of the per-NCID lookup table.
+func (sn *Snapshot) NumRecordViews() int { return len(sn.records) }
+
+// Summary returns the /v1/clusters/summary payload for the given bounds:
+// the precomputed marshaled payload when unbounded, otherwise a fresh fold
+// over the contiguous size range of the summary table (binary search, no
+// document visits). The folded payload is byte-identical to what the
+// store-backed scan of the same clusters produces — every accumulator is a
+// count, an extreme or an integer histogram bin, so fold order cannot
+// change it.
+func (sn *Snapshot) Summary(b SizeBounds) any {
+	if b.Unbounded() {
+		return sn.summary
+	}
+	return sn.foldSummary(b)
+}
+
+// foldSummary aggregates the summary-table entries inside the bounds.
+func (sn *Snapshot) foldSummary(b SizeBounds) map[string]any {
+	lo, hi := 0, len(sn.summaries)
+	if b.HasMin {
+		lo = sort.Search(len(sn.summaries), func(i int) bool { return sn.summaries[i].Size >= b.Min })
+	}
+	if b.HasMax {
+		hi = sort.Search(len(sn.summaries), func(i int) bool { return sn.summaries[i].Size > b.Max })
+	}
+	if hi < lo {
+		hi = lo
+	}
+	var acc SummaryAccumulator
+	for _, e := range sn.summaries[lo:hi] {
+		acc.Add(e.Size, e.Plaus, e.HasPlaus, e.Hetero, e.HasHetero)
+	}
+	return acc.Payload()
+}
+
+// summaryEntry extracts one cluster document's summary-table row, with the
+// same type leniency as the store-backed fold (sizes are ints in a freshly
+// materialized store and float64 after a JSON round trip).
+func summaryEntry(doc docstore.Document) ClusterSummary {
+	e := ClusterSummary{}
+	switch v := doc["size"].(type) {
+	case float64:
+		e.Size = int64(v)
+	case int:
+		e.Size = int64(v)
+	}
+	e.Plaus, e.HasPlaus = doc["plausibility"].(float64)
+	e.Hetero, e.HasHetero = doc["heterogeneity"].(float64)
+	return e
+}
+
+// StatsPayload renders the /v1/stats payload from a dataset. It is shared
+// by the store-backed handler (per request) and the snapshot build (once),
+// which is what keeps the two serving modes byte-identical.
+func StatsPayload(ds *core.Dataset) map[string]any {
+	return map[string]any{
+		"mode":           ds.Mode.String(),
+		"clusters":       ds.NumClusters(),
+		"records":        ds.NumRecords(),
+		"duplicatePairs": ds.NumPairs(),
+		"totalRows":      ds.TotalRows(),
+		"removedRecords": ds.RemovedRecords(),
+		"avgClusterSize": ds.AvgClusterSize(),
+		"maxClusterSize": ds.MaxClusterSize(),
+		"versions":       len(ds.Versions()),
+	}
+}
+
+// HistogramPayload renders the /v1/histogram payload (cluster size →
+// cluster count, Fig. 1) from a dataset.
+func HistogramPayload(ds *core.Dataset) map[string]int {
+	out := map[string]int{}
+	for size, n := range ds.ClusterSizeHistogram() {
+		out[strconv.Itoa(size)] = n
+	}
+	return out
+}
+
+// RecordViewPayload renders the /v1/records/{ncid} payload from a cluster
+// document: the person's records plus the cluster-level scores, without the
+// reproducibility meta block — the lean census-lookup view.
+func RecordViewPayload(doc docstore.Document) docstore.Document {
+	view := docstore.D("ncid", doc["_id"], "size", doc["size"], "records", doc["records"])
+	if p, ok := doc["plausibility"]; ok {
+		view["plausibility"] = p
+	}
+	if h, ok := doc["heterogeneity"]; ok {
+		view["heterogeneity"] = h
+	}
+	return view
+}
+
+// mustMarshal marshals a value built from marshalable parts; failure is a
+// programming bug (same convention as Dataset.ToDocDB).
+func mustMarshal(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("serving: payload marshal failed: " + err.Error())
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+package serving
+
+// SummaryBins is the histogram resolution of the summary's score
+// quantiles. Scores live in [0, 1]; 1000 bins give 0.001 resolution, and
+// integer bin counts merge commutatively, so any fold order — sequential,
+// parallel, or over the snapshot's size-sorted table — produces the
+// identical payload.
+const SummaryBins = 1000
+
+// scoreSummary aggregates one cluster-level score.
+type scoreSummary struct {
+	count int64
+	min   float64
+	max   float64
+	bins  [SummaryBins]int64
+}
+
+// add folds one observation in.
+func (a *scoreSummary) add(v float64) {
+	if a.count == 0 || v < a.min {
+		a.min = v
+	}
+	if a.count == 0 || v > a.max {
+		a.max = v
+	}
+	a.count++
+	bin := int(v * SummaryBins)
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= SummaryBins {
+		bin = SummaryBins - 1
+	}
+	a.bins[bin]++
+}
+
+// quantile estimates the q-quantile from the histogram: the midpoint of the
+// first bin whose cumulative count reaches q of the total. Resolution is
+// 1/SummaryBins; the estimate is deterministic for any fold order.
+func (a *scoreSummary) quantile(q float64) float64 {
+	if a.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(a.count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range a.bins {
+		cum += n
+		if cum >= target {
+			return (float64(i) + 0.5) / SummaryBins
+		}
+	}
+	return a.max
+}
+
+// render exports the summary; nil when the score never occurred.
+func (a *scoreSummary) render() map[string]any {
+	if a.count == 0 {
+		return nil
+	}
+	return map[string]any{
+		"count": a.count,
+		"min":   a.min,
+		"max":   a.max,
+		"p10":   a.quantile(0.10),
+		"p50":   a.quantile(0.50),
+		"p90":   a.quantile(0.90),
+	}
+}
+
+// SummaryAccumulator folds per-cluster (size, plausibility, heterogeneity)
+// observations into the /v1/clusters/summary payload: cluster and record
+// counts, size extremes, and histogram-estimated score quantiles. The zero
+// value is ready to use. It is not safe for concurrent use; parallel scans
+// serialize Add behind their own lock (integer bins and extremes make the
+// result order-independent either way).
+type SummaryAccumulator struct {
+	clusters int64
+	records  int64
+	minSize  int64
+	maxSize  int64
+	plaus    scoreSummary
+	hetero   scoreSummary
+}
+
+// Add folds one cluster in.
+func (a *SummaryAccumulator) Add(size int64, plaus float64, hasPlaus bool, hetero float64, hasHetero bool) {
+	if a.clusters == 0 || size < a.minSize {
+		a.minSize = size
+	}
+	if a.clusters == 0 || size > a.maxSize {
+		a.maxSize = size
+	}
+	a.clusters++
+	a.records += size
+	if hasPlaus {
+		a.plaus.add(plaus)
+	}
+	if hasHetero {
+		a.hetero.add(hetero)
+	}
+}
+
+// Payload renders the summary response payload.
+func (a *SummaryAccumulator) Payload() map[string]any {
+	body := map[string]any{
+		"clusters": a.clusters,
+		"records":  a.records,
+	}
+	if a.clusters > 0 {
+		body["size"] = map[string]any{"min": a.minSize, "max": a.maxSize}
+	}
+	if ps := a.plaus.render(); ps != nil {
+		body["plausibility"] = ps
+	}
+	if hs := a.hetero.render(); hs != nil {
+		body["heterogeneity"] = hs
+	}
+	return body
+}

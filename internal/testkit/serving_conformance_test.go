@@ -1,0 +1,107 @@
+package testkit_test
+
+import (
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hetero"
+	"repro/internal/httpapi"
+	"repro/internal/plaus"
+	"repro/internal/testkit"
+)
+
+// servingResponse is one recorded response: status plus the exact body
+// bytes. The serving-conformance contract is byte identity — a snapshot
+// built at any worker count must serve exactly what the store-backed
+// handlers compute per request, envelope and all.
+type servingResponse struct {
+	Status int
+	Body   string
+}
+
+func servingDataset(tb testing.TB) *core.Dataset {
+	tb.Helper()
+	corpus := testkit.Corpus{Seed: 7}
+	ds := core.NewDataset(core.RemoveTrimmed)
+	for _, p := range corpus.SnapshotFiles(tb, 120, 3) {
+		if _, err := ds.ImportSnapshotFile(p); err != nil {
+			tb.Fatalf("import %s: %v", p, err)
+		}
+	}
+	plaus.Update(ds)
+	hetero.Update(ds)
+	ds.Publish()
+	return ds
+}
+
+func fetchAll(tb testing.TB, api *httpapi.Server, paths []string) map[string]servingResponse {
+	tb.Helper()
+	out := make(map[string]servingResponse, len(paths))
+	for _, p := range paths {
+		rec := httptest.NewRecorder()
+		api.ServeHTTP(rec, httptest.NewRequest("GET", p, nil))
+		out[p] = servingResponse{Status: rec.Code, Body: rec.Body.String()}
+	}
+	return out
+}
+
+// TestConformanceServing pins the snapshot-backed serving mode to the
+// store-backed reference: every pinned path — aggregates, filtered
+// summaries, record views, 404s — must produce the byte-identical response
+// from a snapshot built at any worker count. Both servers publish
+// generation 1, so even the envelope's meta.generation and the validators
+// agree.
+func TestConformanceServing(t *testing.T) {
+	ds := servingDataset(t)
+	ncids := ds.NCIDs()
+	if len(ncids) < 3 {
+		t.Fatal("corpus too small")
+	}
+	paths := []string{
+		"/v1/stats",
+		"/v1/years",
+		"/v1/histogram",
+		"/v1/versions",
+		"/v1/healthz",
+		"/v1/clusters/summary",
+		"/v1/clusters/summary?minSize=2",
+		"/v1/clusters/summary?minSize=2&maxSize=6",
+		"/v1/clusters/summary?minSize=99999",
+		"/v1/clusters?score=size&min=2&limit=5",
+		"/v1/clusters/" + ncids[0],
+		"/v1/records/" + ncids[0],
+		"/v1/records/" + ncids[1],
+		"/v1/records/" + ncids[2],
+		"/v1/records/NOPE",
+	}
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	testkit.Differential[map[string]servingResponse]{
+		Name: "serving/snapshot-vs-store",
+		Sequential: func(tb testing.TB) map[string]servingResponse {
+			api := httpapi.New(ds, httpapi.WithLogger(logger),
+				httpapi.WithSnapshotServing(false), httpapi.WithResponseCache(-1))
+			return fetchAll(tb, api, paths)
+		},
+		Parallel: func(tb testing.TB, workers int) map[string]servingResponse {
+			api := httpapi.New(ds, httpapi.WithLogger(logger),
+				httpapi.WithStoreWorkers(workers), httpapi.WithResponseCache(-1))
+			return fetchAll(tb, api, paths)
+		},
+		Compare: func(tb testing.TB, want, got map[string]servingResponse) {
+			for _, p := range paths {
+				w, g := want[p], got[p]
+				if w.Status != g.Status {
+					tb.Errorf("%s: status %d (snapshot) vs %d (store)", p, g.Status, w.Status)
+					continue
+				}
+				if w.Body != g.Body {
+					tb.Errorf("%s: body diverged\nsnapshot: %s\nstore:    %s", p, g.Body, w.Body)
+				}
+			}
+		},
+	}.Run(t)
+}

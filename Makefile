@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race test-short serve-race serving-race ingest-race score-race docstore-race conformance fuzz-smoke cover bench-matching bench-docstore bench-serving docs
+.PHONY: ci fmt vet build test race test-short serve-race serving-race ingest-race score-race blocking-race docstore-race conformance fuzz-smoke cover bench-matching bench-blocking bench-docstore bench-serving docs
 
-ci: fmt vet build race docs conformance fuzz-smoke cover score-race docstore-race serving-race bench-docstore bench-serving
+ci: fmt vet build race docs conformance fuzz-smoke cover score-race blocking-race docstore-race serving-race bench-blocking bench-docstore bench-serving
 
 # Fail when any tracked Go file is not gofmt-clean.
 fmt:
@@ -55,6 +55,14 @@ ingest-race:
 score-race:
 	$(GO) test -race -run 'TestParallelScore|TestEntropyDeterministic|TestSoftCosineDeterministic|TestIntoVariantsMatch|TestHybridIntoVariantsMatch|TestEvaluateAllParallel' \
 		./internal/dedup ./internal/simil ./internal/hetero ./internal/plaus ./internal/core
+
+# The blocking-layer equivalence suite under the race detector — the
+# bit-identical-for-any-worker-count guarantee of the candidate-generation
+# layer (docs/BLOCKING.md "Determinism"): the package's own ladder tests
+# plus the blocking differential oracle in internal/testkit.
+blocking-race:
+	$(GO) test -race ./internal/blocking
+	$(GO) test -race -run 'TestConformanceBlocking' ./internal/testkit
 
 # The segmented-persistence equivalence suite under the race detector — the
 # identical-for-any-worker-count guarantee of the parallel docstore save/load
@@ -105,6 +113,13 @@ cover:
 # the numbers behind the EXPERIMENTS.md matching section.
 bench-matching:
 	$(GO) run ./cmd/ncbench -scale small -exp matching
+
+# Candidate-generation ladder (SNM pass counts, trigram banding, union):
+# pairs considered, reduction, recall of injected duplicates and the
+# parallel worker ladder — the numbers behind the EXPERIMENTS.md blocking
+# section (BENCH_blocking.json).
+bench-blocking:
+	$(GO) run ./cmd/ncbench -scale small -exp blocking
 
 # Segmented save/load ladder plus the pipeline pushdown comparison — the
 # numbers behind the EXPERIMENTS.md docstore section (BENCH_docstore.json).

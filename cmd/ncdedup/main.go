@@ -1,52 +1,82 @@
-// Command ncdedup evaluates the three duplicate-detection pipelines of the
-// paper's usability experiment on a labeled dataset file: multi-pass
-// Sorted Neighborhood blocking, entropy-weighted record similarity with
+// Command ncdedup evaluates the duplicate-detection pipelines of the
+// paper's usability experiment on a labeled dataset: pluggable candidate
+// generation (multi-pass Sorted Neighborhood and/or trigram minhash
+// banding, see docs/BLOCKING.md), entropy-weighted record similarity with
 // best 1:1 name matching, and a full threshold sweep per measure.
 //
 // Usage:
 //
 //	ncdedup -in nc2.tsv -passes 5 -window 20
-//	ncdedup -in nc2.tsv -workers 8   # parallel scoring engine, identical output
-//	ncdedup -db store/ -store-workers 8   # evaluate a document store directly
+//	ncdedup -in nc2.tsv -block snm,trigram -passes 'last_name+zip_code,soundex(last_name)'
+//	ncdedup -in nc2.tsv -workers 8             # parallel blocking + scoring, identical output
+//	ncdedup -db store/ -store-workers 8        # store-backed evaluation mode
 //
-// With -db the labeled dataset is derived from a stored corpus instead of a
-// TSV export: the store loads through the parallel segmented reader, the
-// clusters parse on -store-workers cores, and every record is kept (the
-// full heterogeneity range), so the evaluation covers the store as-is.
+// -passes takes either an integer k (one SNM pass per the k most unique
+// attributes — the paper's §6.5 setup) or comma-separated pass-key specs
+// (components joined by +: attribute names, soundex(attr), prefix(attr,n)).
+//
+// With -db the labeled dataset is derived from a stored corpus instead of
+// a TSV export (the store-backed evaluation mode): the store loads through
+// the parallel segmented reader, the clusters parse on -store-workers
+// cores, and every record is kept (the full heterogeneity range), so the
+// evaluation covers the store as-is.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"strconv"
+	"strings"
 
+	"repro/internal/blocking"
 	"repro/internal/core"
 	"repro/internal/custom"
 	"repro/internal/dedup"
 	"repro/internal/docstore"
+	"repro/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ncdedup: ")
 	var (
-		in           = flag.String("in", "", "labeled dataset file (from nccustom)")
-		db           = flag.String("db", "", "document-database directory to evaluate instead of -in")
-		passes       = flag.Int("passes", 5, "SNM passes over the most unique attributes")
-		window       = flag.Int("window", 20, "SNM window size")
+		in           = flag.String("in", "", "labeled dataset file (from nccustom); mutually exclusive with the -db store-backed mode")
+		db           = flag.String("db", "", "document-store directory to evaluate directly (store-backed evaluation mode: loads the segmented store in parallel and derives the labeled dataset from it instead of a TSV export)")
+		block        = flag.String("block", "snm", "comma-separated candidate blockers: snm, trigram (their pair union is deduplicated before scoring)")
+		passesS      = flag.String("passes", "5", "SNM passes: an integer k (k most-unique attributes, the paper's setup) or comma-separated key specs like 'last_name+zip_code,soundex(first_name),prefix(last_name,4)'")
+		window       = flag.Int("window", 20, "SNM window size (records per sorted-neighborhood slide)")
+		trigramAttrs = flag.String("trigram-attrs", "", "comma-separated attribute names the trigram blocker signs (default: the dataset's name attributes)")
+		bands        = flag.Int("bands", blocking.DefaultBands, "trigram minhash bands (more bands = higher recall)")
+		rows         = flag.Int("rows", blocking.DefaultRows, "trigram minhash rows per band (more rows = stricter band matches)")
+		maxBucket    = flag.Int("max-bucket", blocking.DefaultMaxBucket, "trigram bucket size cap bounding the quadratic pair blow-up (negative = unlimited)")
 		steps        = flag.Int("steps", 100, "threshold sweep steps")
 		curves       = flag.Bool("curves", false, "print the full F1 curve per measure")
-		workers      = flag.Int("workers", 1, "scoring workers; >1 uses the parallel engine (identical results)")
-		storeWorkers = flag.Int("store-workers", 0, "document-store load workers for -db (0 = all cores)")
+		workers      = flag.Int("workers", 1, "blocking and scoring workers; >1 runs the parallel engines, with results bit-identical to sequential in both -in and -db store-backed modes")
+		storeWorkers = flag.Int("store-workers", 0, "document-store load workers for the -db store-backed mode (0 = all cores)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve GET /metrics (JSON and Prometheus) with the blocking_pipeline_total and score_pipeline_total counters on this address during the run (e.g. :9090)")
 	)
 	flag.Parse()
 	if (*in == "") == (*db == "") {
 		log.Fatal("need exactly one of -in (dataset file) or -db (document store)")
 	}
 
+	metrics := obs.NewMetrics()
+	if *metricsAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("GET /metrics", metrics.Handler())
+			log.Printf("metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+
 	var ds *dedup.Dataset
 	if *db != "" {
-		stored, err := docstore.LoadParallelOpts(*db, docstore.LoadOpts{Workers: *storeWorkers})
+		stored, err := docstore.LoadParallelOpts(*db, docstore.LoadOpts{Workers: *storeWorkers, Observer: metrics})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,15 +97,27 @@ func main() {
 	fmt.Printf("%s: %d records, %d clusters, %d true duplicate pairs\n",
 		ds.Name, ds.NumRecords(), ds.NumClusters(), ds.NumTruePairs())
 
-	keys := dedup.MostUniqueAttrs(ds, *passes)
-	cands := dedup.SortedNeighborhood(ds, keys, *window)
-	fmt.Printf("blocking: %d candidate pairs over %d passes (window %d), recall %.3f\n",
-		len(cands), len(keys), *window, dedup.BlockingRecall(ds, cands))
+	cfg, err := blockConfig(ds, *block, *passesS, *window, *trigramAttrs, *bands, *rows, *maxBucket)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Workers = *workers
+	cfg.Observer = metrics
+	cands, stats := blocking.Generate(ds, cfg)
+	for _, p := range stats.SNMPasses {
+		fmt.Printf("blocking: snm pass %-28s window %-3d %8d pairs\n", p.Name, p.Window, p.Pairs)
+	}
+	if cfg.Trigram != nil {
+		fmt.Printf("blocking: trigram banding %dx%d %17d pairs (%d buckets, %d skipped oversize)\n",
+			cfg.Trigram.Bands, cfg.Trigram.Rows, stats.TrigramPairs, stats.Buckets, stats.OversizeBuckets)
+	}
+	fmt.Printf("blocking: %d unique candidate pairs (%d emitted), recall %.3f\n",
+		stats.Unique, stats.Emitted, blocking.Recall(ds, cands))
 
 	for _, m := range dedup.Measures {
 		var curve dedup.Curve
 		if *workers > 1 {
-			curve = dedup.EvaluateCandidatesParallel(ds, m, cands, *steps, dedup.ScoreOpts{Workers: *workers})
+			curve = dedup.EvaluateCandidatesParallel(ds, m, cands, *steps, dedup.ScoreOpts{Workers: *workers, Observer: metrics})
 		} else {
 			curve = dedup.EvaluateCandidates(ds, m, cands, *steps)
 		}
@@ -88,4 +130,52 @@ func main() {
 			}
 		}
 	}
+}
+
+// blockConfig assembles the blocking configuration from the flag values.
+func blockConfig(ds *dedup.Dataset, block, passesS string, window int, trigramAttrs string, bands, rows, maxBucket int) (blocking.Config, error) {
+	cfg := blocking.Config{Window: window}
+	useSNM, useTrigram := false, false
+	for _, b := range strings.Split(block, ",") {
+		switch strings.TrimSpace(b) {
+		case "snm":
+			useSNM = true
+		case "trigram":
+			useTrigram = true
+		case "":
+		default:
+			return cfg, fmt.Errorf("unknown blocker %q (want snm, trigram)", strings.TrimSpace(b))
+		}
+	}
+	if !useSNM && !useTrigram {
+		return cfg, fmt.Errorf("-block %q selects no blocker", block)
+	}
+	if useSNM {
+		if k, err := strconv.Atoi(strings.TrimSpace(passesS)); err == nil {
+			if k < 1 {
+				return cfg, fmt.Errorf("-passes %d: need at least one pass", k)
+			}
+			cfg.Passes = blocking.EntropyPasses(ds, k)
+		} else {
+			passes, err := blocking.ParsePasses(ds, passesS)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Passes = passes
+		}
+	}
+	if useTrigram {
+		tc := &blocking.TrigramConfig{Bands: bands, Rows: rows, MaxBucket: maxBucket}
+		if trigramAttrs != "" {
+			for _, name := range strings.Split(trigramAttrs, ",") {
+				idx, err := blocking.AttrIndex(ds, strings.TrimSpace(name))
+				if err != nil {
+					return cfg, err
+				}
+				tc.Attrs = append(tc.Attrs, idx)
+			}
+		}
+		cfg.Trigram = tc
+	}
+	return cfg, nil
 }

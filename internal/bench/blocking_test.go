@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBlockingBench(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_blocking.json")
+	w := NewWorkspace(Tiny)
+	res, err := RunBlockingBench(w, 0, []int{1, 3}, jsonPath, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Configs) != 5 {
+		t.Fatalf("got %d configs, want the 5-step ladder", len(res.Configs))
+	}
+	if len(res.Points) != 5*2 {
+		t.Fatalf("got %d points, want 2 worker counts per config", len(res.Points))
+	}
+	for _, c := range res.Configs {
+		if c.Pairs <= 0 {
+			t.Errorf("%s: no candidate pairs", c.Config)
+		}
+		if c.Reduction <= 0 {
+			t.Errorf("%s: no reduction over all-pairs (%.3f)", c.Config, c.Reduction)
+		}
+		if c.Recall < 0 || c.Recall > 1 {
+			t.Errorf("%s: recall %.3f out of range", c.Config, c.Recall)
+		}
+	}
+	// The acceptance bar: the paper's multi-pass setups must retain at
+	// least 95% of the injected duplicate pairs while pruning the
+	// candidate space.
+	for _, name := range []string{"snm-5", "snm-5+trigram"} {
+		for _, c := range res.Configs {
+			if c.Config == name && c.Recall < 0.95 {
+				t.Errorf("%s: recall %.3f below the 0.95 bar", name, c.Recall)
+			}
+		}
+	}
+	for _, p := range res.Points {
+		if !p.Identical {
+			t.Errorf("%s at workers=%d not identical to sequential reference", p.Config, p.Workers)
+		}
+	}
+
+	body, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded BlockingResult
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatalf("BENCH_blocking.json is not valid JSON: %v", err)
+	}
+	if decoded.Dataset != res.Dataset || len(decoded.Configs) != len(res.Configs) {
+		t.Errorf("JSON round-trip mismatch: %+v", decoded)
+	}
+}

@@ -1,0 +1,355 @@
+// Package blocking is the candidate-generation layer of the detection
+// pipeline: it decides which record pairs the §6.5 scoring engine ever
+// sees. The paper validates its generated NC datasets with multi-pass
+// Sorted Neighborhood blocking — one pass per sorting key, window w = 20 —
+// and reports that the reduction loses no true duplicates; at the paper's
+// 507 M-row framing, candidate generation (not pair scoring) is the cost
+// that decides whether full-corpus deduplication is feasible at all.
+//
+// Two pluggable blockers produce candidates:
+//
+//   - multi-pass SNM (snm.go): one Pass per sorting key — attribute
+//     values, concatenations, phonetic codes, prefixes — each sliding a
+//     window over the key-sorted order (the paper's own validation setup,
+//     e.g. lastname+zip, firstname+age, Soundex keys);
+//   - trigram/minhash banding (trigram.go): an LSH-style blocker for noisy
+//     fields, where SNM's lexicographic sort is brittle against leading-
+//     character errors. Records whose trigram-set minhash signatures agree
+//     on any band land in the same bucket.
+//
+// Generate runs every configured blocker with each stage sharded across
+// workers, then unions the per-blocker pair streams with the same
+// deterministic sort+dedupe merge discipline as the ingest pipeline —
+// downstream scoring sees each candidate pair exactly once, in sorted
+// (I, J) order, and the result is bit-identical to the sequential
+// reference GenerateSeq for any worker count (enforced under -race by the
+// testkit differential oracle, `make blocking-race`).
+package blocking
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/dedup"
+)
+
+// Observer receives the layer's counters (the blocking_pipeline_total
+// family). *obs.Metrics satisfies it; blocking stays import-free of obs
+// the same way core and dedup do through their observer interfaces.
+type Observer interface {
+	AddN(counter string, n int64)
+}
+
+// Pass is one Sorted-Neighborhood pass: records are sorted by Key and
+// every pair within the sliding window becomes a candidate.
+type Pass struct {
+	// Name labels the pass in stats, benchmarks and metrics.
+	Name string
+	// Key derives the sorting key from a record's attribute values.
+	Key dedup.KeyFunc
+	// Window overrides Config.Window for this pass when > 0.
+	Window int
+}
+
+// TrigramConfig parameterizes the minhash banding blocker. The signature
+// of a record is Bands×Rows minhashes over the trigram set of its
+// configured attributes; two records become candidates when all Rows
+// minhashes of at least one band agree. More rows per band make a band
+// match stricter (higher precision), more bands give a noisy duplicate
+// more chances to collide (higher recall).
+type TrigramConfig struct {
+	// Attrs are the attribute indices whose lower-cased values are
+	// concatenated into the signature text. Empty selects the dataset's
+	// name attributes, falling back to all attributes.
+	Attrs []int
+	// Bands and Rows shape the signature; 0 selects the defaults (8×4).
+	Bands, Rows int
+	// MaxBucket caps a bucket's record count to bound the quadratic pair
+	// blow-up of giant buckets; 0 selects the default (64), negative
+	// disables the cap.
+	MaxBucket int
+	// Seed varies the minhash function family; the default 0 is fine.
+	Seed uint64
+}
+
+// Default trigram-banding parameters.
+const (
+	DefaultBands     = 8
+	DefaultRows      = 4
+	DefaultMaxBucket = 64
+	// DefaultWindow is the paper's SNM window (§6.5, w = 20).
+	DefaultWindow = 20
+)
+
+// Config selects and tunes the blockers of one Generate run.
+type Config struct {
+	// Passes are the SNM passes; empty disables the SNM blocker.
+	Passes []Pass
+	// Window is the SNM window size for passes without their own;
+	// 0 selects DefaultWindow, values below 2 clamp to 2.
+	Window int
+	// Trigram enables the minhash banding blocker when non-nil.
+	Trigram *TrigramConfig
+	// Workers shards every stage; <= 0 selects GOMAXPROCS, 1 runs the
+	// parallel path on one worker (GenerateSeq is the independent
+	// sequential reference, not this).
+	Workers int
+	// Observer, when set, receives the blocking_* counters after the run.
+	Observer Observer
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+func (c Config) window(p Pass) int {
+	w := p.Window
+	if w == 0 {
+		w = c.Window
+	}
+	if w == 0 {
+		w = DefaultWindow
+	}
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// PassStats is one pass's share of the candidate stream, before the
+// cross-pass deduplication.
+type PassStats struct {
+	Name   string
+	Window int
+	Pairs  int
+}
+
+// Stats describes one Generate run. Every field is a pure function of the
+// dataset and the configuration — never of the worker count — so the
+// differential oracle compares stats alongside the pair set.
+type Stats struct {
+	Records int
+	// SNMPasses has one entry per configured pass, in pass order.
+	SNMPasses []PassStats
+	// TrigramPairs counts the banding blocker's emissions (pre-dedupe);
+	// Buckets counts occupied (band, hash) buckets with >= 2 records, of
+	// which OversizeBuckets were skipped under MaxBucket.
+	TrigramPairs    int
+	Buckets         int
+	OversizeBuckets int
+	// Emitted is the total pre-dedupe candidate stream; Unique is the
+	// final pair count after the sort+dedupe merge.
+	Emitted int
+	Unique  int
+}
+
+// Generate runs the configured blockers sharded across cfg.Workers and
+// returns the deduplicated union of their candidate pairs, sorted by
+// (I, J). The result — pairs and stats — is bit-identical to GenerateSeq
+// for any worker count.
+func Generate(ds *dedup.Dataset, cfg Config) ([]dedup.Pair, Stats) {
+	workers := cfg.workers()
+	stats := Stats{Records: len(ds.Records)}
+	var streams [][]dedup.Pair
+	for _, p := range cfg.Passes {
+		w := cfg.window(p)
+		pairs := snmPassParallel(ds, p.Key, w, workers)
+		stats.SNMPasses = append(stats.SNMPasses, PassStats{Name: p.Name, Window: w, Pairs: len(pairs)})
+		streams = append(streams, pairs)
+	}
+	if cfg.Trigram != nil {
+		pairs, bs := trigramParallel(ds, *cfg.Trigram, workers)
+		stats.TrigramPairs = len(pairs)
+		stats.Buckets = bs.buckets
+		stats.OversizeBuckets = bs.oversize
+		streams = append(streams, pairs)
+	}
+	pairs := mergeStreams(streams, workers)
+	for _, s := range streams {
+		stats.Emitted += len(s)
+	}
+	stats.Unique = len(pairs)
+	report(cfg.Observer, stats)
+	return pairs, stats
+}
+
+// GenerateSeq is the sequential reference: the same blockers implemented
+// with plain loops and a seen-set union, no pools, no merges. The testkit
+// differential oracle pins Generate to it bit for bit.
+func GenerateSeq(ds *dedup.Dataset, cfg Config) ([]dedup.Pair, Stats) {
+	stats := Stats{Records: len(ds.Records)}
+	var all []dedup.Pair
+	for _, p := range cfg.Passes {
+		w := cfg.window(p)
+		pairs := snmPassSeq(ds, p.Key, w)
+		stats.SNMPasses = append(stats.SNMPasses, PassStats{Name: p.Name, Window: w, Pairs: len(pairs)})
+		all = append(all, pairs...)
+	}
+	if cfg.Trigram != nil {
+		pairs, bs := trigramSeq(ds, *cfg.Trigram)
+		stats.TrigramPairs = len(pairs)
+		stats.Buckets = bs.buckets
+		stats.OversizeBuckets = bs.oversize
+		all = append(all, pairs...)
+	}
+	stats.Emitted = len(all)
+	sort.Slice(all, func(x, y int) bool {
+		if all[x].I != all[y].I {
+			return all[x].I < all[y].I
+		}
+		return all[x].J < all[y].J
+	})
+	out := all[:0]
+	for i, p := range all {
+		if i == 0 || p != all[i-1] {
+			out = append(out, p)
+		}
+	}
+	stats.Unique = len(out)
+	report(cfg.Observer, stats)
+	return out, stats
+}
+
+// report exports a run's counters as the blocking_pipeline_total family.
+func report(obs Observer, s Stats) {
+	if obs == nil {
+		return
+	}
+	obs.AddN("blocking_runs", 1)
+	obs.AddN("blocking_records", int64(s.Records))
+	obs.AddN("blocking_snm_passes", int64(len(s.SNMPasses)))
+	for _, p := range s.SNMPasses {
+		obs.AddN("blocking_snm_pairs", int64(p.Pairs))
+	}
+	obs.AddN("blocking_trigram_pairs", int64(s.TrigramPairs))
+	obs.AddN("blocking_trigram_buckets", int64(s.Buckets))
+	obs.AddN("blocking_trigram_oversize_buckets", int64(s.OversizeBuckets))
+	obs.AddN("blocking_pairs_emitted", int64(s.Emitted))
+	obs.AddN("blocking_pairs_unique", int64(s.Unique))
+}
+
+// parallelRanges splits [0, n) into one contiguous range per worker and
+// runs fn on each concurrently. The split depends only on n and workers,
+// so index-addressed writes are deterministic.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// mergeStreams unions the blockers' pair streams into one sorted,
+// deduplicated slice: the streams are concatenated (stream order is part
+// of the configuration, not the schedule), chunk-sorted across workers and
+// k-way merged with duplicates dropped at the merge point — the same
+// sort+dedupe merge discipline as the ingest pipeline's cluster merge.
+func mergeStreams(streams [][]dedup.Pair, workers int) []dedup.Pair {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	all := make([]dedup.Pair, 0, total)
+	for _, s := range streams {
+		all = append(all, s...)
+	}
+	return sortDedupeParallel(all, workers)
+}
+
+// pairLess is the total order every sort and merge of the package uses.
+func pairLess(a, b dedup.Pair) bool {
+	if a.I != b.I {
+		return a.I < b.I
+	}
+	return a.J < b.J
+}
+
+// sortDedupeParallel sorts pairs by (I, J) and drops duplicates: the slice
+// is split into one chunk per worker, each chunk sorted concurrently, and
+// the sorted chunks k-way merged on the calling goroutine. The comparator
+// is a total order (no two distinct elements compare equal without being
+// equal), so the output is independent of the chunking and the schedule.
+func sortDedupeParallel(pairs []dedup.Pair, workers int) []dedup.Pair {
+	n := len(pairs)
+	if n == 0 {
+		return pairs[:0]
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sort.Slice(pairs, func(x, y int) bool { return pairLess(pairs[x], pairs[y]) })
+		w := 0
+		for i, p := range pairs {
+			if i == 0 || p != pairs[w-1] {
+				pairs[w] = p
+				w++
+			}
+		}
+		return pairs[:w]
+	}
+
+	type chunk struct{ lo, hi int }
+	chunks := make([]chunk, 0, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		chunks = append(chunks, chunk{lo, hi})
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			part := pairs[lo:hi]
+			sort.Slice(part, func(x, y int) bool { return pairLess(part[x], part[y]) })
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// K-way merge with dedupe at the merge point. K is the worker count,
+	// so the linear scan over chunk heads stays cheap.
+	heads := make([]int, len(chunks))
+	out := make([]dedup.Pair, 0, n)
+	for {
+		best := -1
+		for c := range chunks {
+			if heads[c] >= chunks[c].hi-chunks[c].lo {
+				continue
+			}
+			if best < 0 || pairLess(pairs[chunks[c].lo+heads[c]], pairs[chunks[best].lo+heads[best]]) {
+				best = c
+			}
+		}
+		if best < 0 {
+			break
+		}
+		p := pairs[chunks[best].lo+heads[best]]
+		heads[best]++
+		if len(out) == 0 || p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,372 @@
+// The trigram/minhash banding blocker — the LSH-style complement to SNM
+// for noisy fields (cf. "Unsupervised record matching with noisy and
+// incomplete data", PAPERS.md). A record's signature is Bands×Rows
+// minhashes over the trigram set of its configured attributes; each band's
+// row values hash into a bucket key, and every bucket with 2..MaxBucket
+// members emits its pairs. A single corrupted leading character — fatal to
+// a lexicographic SNM sort — changes only a few trigrams, so the minhash
+// rows still collide with high probability.
+//
+// Every per-record computation (trigram set, signature, band keys) is a
+// pure function of the record and the config, and bucket grouping sorts
+// band entries under a total order before scanning runs — so the parallel
+// blocker is bit-identical to the sequential one for any worker count.
+
+package blocking
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dedup"
+	"repro/internal/simil"
+)
+
+func (tc TrigramConfig) bands() int {
+	if tc.Bands <= 0 {
+		return DefaultBands
+	}
+	return tc.Bands
+}
+
+func (tc TrigramConfig) rows() int {
+	if tc.Rows <= 0 {
+		return DefaultRows
+	}
+	return tc.Rows
+}
+
+func (tc TrigramConfig) maxBucket() int {
+	switch {
+	case tc.MaxBucket == 0:
+		return DefaultMaxBucket
+	case tc.MaxBucket < 0:
+		return int(^uint(0) >> 1)
+	}
+	return tc.MaxBucket
+}
+
+// attrs resolves the signature attributes: configured indices, else the
+// dataset's name attributes, else every attribute.
+func (tc TrigramConfig) attrs(ds *dedup.Dataset) []int {
+	if len(tc.Attrs) > 0 {
+		return tc.Attrs
+	}
+	if len(ds.NameAttrs) > 0 {
+		return ds.NameAttrs
+	}
+	all := make([]int, len(ds.Attrs))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// bucketStats counts the grouping outcome: buckets with at least two
+// members, and how many of those the MaxBucket cap skipped.
+type bucketStats struct {
+	buckets  int
+	oversize int
+}
+
+// bandEntry is one record's membership in one band bucket. Sorting entries
+// by (band, hash, rec) groups bucket members into contiguous runs.
+type bandEntry struct {
+	band int32
+	hash uint64
+	rec  int32
+}
+
+func bandEntryLess(a, b bandEntry) bool {
+	if a.band != b.band {
+		return a.band < b.band
+	}
+	if a.hash != b.hash {
+		return a.hash < b.hash
+	}
+	return a.rec < b.rec
+}
+
+// signatureText concatenates the record's signature attributes,
+// lower-cased and trimmed, with a separator that cannot occur in TSV data
+// so attribute boundaries stay visible to the trigram set.
+func signatureText(rec []string, attrs []int) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = strings.ToLower(strings.TrimSpace(rec[a]))
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// minhashParams derives the k pairwise-independent hash multipliers and
+// offsets from the seed via a splitmix64 stream (deterministic, no global
+// state).
+func minhashParams(k int, seed uint64) (mul, add []uint64) {
+	mul = make([]uint64, k)
+	add = make([]uint64, k)
+	state := seed ^ 0x9e3779b97f4a7c15
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := 0; i < k; i++ {
+		mul[i] = next() | 1 // odd, so multiplication permutes Z/2^64
+		add[i] = next()
+	}
+	return mul, add
+}
+
+// bandKeys computes one record's band bucket keys: minhash signature over
+// its trigram set, then one FNV-1a fold per band of that band's rows. A
+// record whose signature text yields no trigrams returns nil — blocking it
+// would collide every empty record with every other.
+func bandKeys(rec []string, attrs []int, bands, rows int, mul, add []uint64) []uint64 {
+	text := signatureText(rec, attrs)
+	grams := simil.QGrams(text, 3)
+	if len(grams) == 0 || strings.Trim(text, "\x1f") == "" {
+		return nil
+	}
+	k := bands * rows
+	sig := make([]uint64, k)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for _, g := range grams {
+		h := fnv.New64a()
+		h.Write([]byte(g))
+		gh := h.Sum64()
+		for i := 0; i < k; i++ {
+			v := gh*mul[i] + add[i]
+			if v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	keys := make([]uint64, bands)
+	for b := 0; b < bands; b++ {
+		acc := uint64(1469598103934665603) // FNV-64 offset basis
+		for r := 0; r < rows; r++ {
+			v := sig[b*rows+r]
+			for s := 0; s < 64; s += 8 {
+				acc ^= (v >> s) & 0xff
+				acc *= 1099511628211
+			}
+		}
+		keys[b] = acc
+	}
+	return keys
+}
+
+// trigramSeq is the sequential reference blocker: per-record band keys,
+// map-grouped buckets scanned in sorted key order, pairs emitted per
+// bucket in ascending member order.
+func trigramSeq(ds *dedup.Dataset, tc TrigramConfig) ([]dedup.Pair, bucketStats) {
+	attrs := tc.attrs(ds)
+	bands, rows := tc.bands(), tc.rows()
+	mul, add := minhashParams(bands*rows, tc.Seed)
+	type bucketKey struct {
+		band int32
+		hash uint64
+	}
+	buckets := map[bucketKey][]int32{}
+	for i, rec := range ds.Records {
+		for b, h := range bandKeys(rec, attrs, bands, rows, mul, add) {
+			k := bucketKey{int32(b), h}
+			buckets[k] = append(buckets[k], int32(i))
+		}
+	}
+	keys := make([]bucketKey, 0, len(buckets))
+	for k, members := range buckets {
+		if len(members) >= 2 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(x, y int) bool {
+		if keys[x].band != keys[y].band {
+			return keys[x].band < keys[y].band
+		}
+		return keys[x].hash < keys[y].hash
+	})
+	var st bucketStats
+	maxBucket := tc.maxBucket()
+	var out []dedup.Pair
+	for _, k := range keys {
+		members := buckets[k]
+		st.buckets++
+		if len(members) > maxBucket {
+			st.oversize++
+			continue
+		}
+		for x := 0; x < len(members); x++ {
+			for y := x + 1; y < len(members); y++ {
+				out = append(out, dedup.Pair{I: int(members[x]), J: int(members[y])})
+			}
+		}
+	}
+	return out, st
+}
+
+// trigramParallel is the sharded blocker: band entries are computed into
+// an index-addressed slice (one fixed stride per record), compacted in
+// index order, chunk-sorted and k-way merged under the (band, hash, rec)
+// total order, and bucket runs are scanned on the calling goroutine with
+// pair emission sharded per run range.
+func trigramParallel(ds *dedup.Dataset, tc TrigramConfig, workers int) ([]dedup.Pair, bucketStats) {
+	n := len(ds.Records)
+	if n == 0 {
+		return nil, bucketStats{}
+	}
+	attrs := tc.attrs(ds)
+	bands, rows := tc.bands(), tc.rows()
+	mul, add := minhashParams(bands*rows, tc.Seed)
+
+	// Stage 1: per-record band keys, index-addressed (records with no
+	// trigrams leave their stride marked invalid with rec == -1).
+	entries := make([]bandEntry, n*bands)
+	parallelRanges(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keys := bandKeys(ds.Records[i], attrs, bands, rows, mul, add)
+			for b := 0; b < bands; b++ {
+				e := &entries[i*bands+b]
+				if keys == nil {
+					e.rec = -1
+					continue
+				}
+				e.band, e.hash, e.rec = int32(b), keys[b], int32(i)
+			}
+		}
+	})
+	valid := entries[:0]
+	for _, e := range entries {
+		if e.rec >= 0 {
+			valid = append(valid, e)
+		}
+	}
+
+	// Stage 2: sort entries under the total order so bucket members form
+	// contiguous runs; chunk-sort across workers, merge sequentially.
+	sortBandEntries(valid, workers)
+
+	// Stage 3: scan runs into buckets, then emit pairs per bucket with the
+	// bucket list sharded across workers (outputs concatenated in bucket
+	// order).
+	type run struct{ lo, hi int }
+	var runs []run
+	var st bucketStats
+	maxBucket := tc.maxBucket()
+	for lo := 0; lo < len(valid); {
+		hi := lo + 1
+		for hi < len(valid) && valid[hi].band == valid[lo].band && valid[hi].hash == valid[lo].hash {
+			hi++
+		}
+		if hi-lo >= 2 {
+			st.buckets++
+			if hi-lo > maxBucket {
+				st.oversize++
+			} else {
+				runs = append(runs, run{lo, hi})
+			}
+		}
+		lo = hi
+	}
+
+	nr := len(runs)
+	if nr == 0 {
+		return nil, st
+	}
+	rw := workers
+	if rw > nr {
+		rw = nr
+	}
+	parts := make([][]dedup.Pair, rw)
+	var wg sync.WaitGroup
+	for w := 0; w < rw; w++ {
+		lo := w * nr / rw
+		hi := (w + 1) * nr / rw
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var part []dedup.Pair
+			for _, r := range runs[lo:hi] {
+				members := valid[r.lo:r.hi]
+				for x := 0; x < len(members); x++ {
+					for y := x + 1; y < len(members); y++ {
+						part = append(part, dedup.Pair{I: int(members[x].rec), J: int(members[y].rec)})
+					}
+				}
+			}
+			parts[w] = part
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]dedup.Pair, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, st
+}
+
+// sortBandEntries sorts entries in place under the (band, hash, rec) total
+// order: one contiguous chunk per worker sorted concurrently, then a
+// sequential k-way merge through a scratch slice.
+func sortBandEntries(entries []bandEntry, workers int) {
+	n := len(entries)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 {
+		sort.Slice(entries, func(x, y int) bool { return bandEntryLess(entries[x], entries[y]) })
+		return
+	}
+	type chunk struct{ lo, hi int }
+	chunks := make([]chunk, 0, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		chunks = append(chunks, chunk{lo, hi})
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			part := entries[lo:hi]
+			sort.Slice(part, func(x, y int) bool { return bandEntryLess(part[x], part[y]) })
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	heads := make([]int, len(chunks))
+	merged := make([]bandEntry, 0, n)
+	for {
+		best := -1
+		for c := range chunks {
+			if heads[c] >= chunks[c].hi-chunks[c].lo {
+				continue
+			}
+			if best < 0 || bandEntryLess(entries[chunks[c].lo+heads[c]], entries[chunks[best].lo+heads[best]]) {
+				best = c
+			}
+		}
+		if best < 0 {
+			break
+		}
+		merged = append(merged, entries[chunks[best].lo+heads[best]])
+		heads[best]++
+	}
+	copy(entries, merged)
+}

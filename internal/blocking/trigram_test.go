@@ -1,0 +1,113 @@
+package blocking
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/dedup"
+)
+
+// TestTrigramParallelMatchesSequential pins the banding blocker alone to
+// its reference across the worker ladder.
+func TestTrigramParallelMatchesSequential(t *testing.T) {
+	ds := testDataset(31, 150)
+	tc := TrigramConfig{Attrs: []int{0, 1}, Bands: 8, Rows: 3, MaxBucket: 48}
+	cfg := Config{Trigram: &tc}
+	wantPairs, wantStats := GenerateSeq(ds, cfg)
+	for _, workers := range []int{1, 2, 7, runtime.GOMAXPROCS(0)} {
+		cfg.Workers = workers
+		gotPairs, gotStats := Generate(ds, cfg)
+		if !reflect.DeepEqual(wantPairs, gotPairs) {
+			t.Fatalf("workers=%d: trigram pairs diverge (%d vs %d)", workers, len(gotPairs), len(wantPairs))
+		}
+		if !reflect.DeepEqual(wantStats, gotStats) {
+			t.Fatalf("workers=%d: trigram stats diverge: %+v vs %+v", workers, gotStats, wantStats)
+		}
+	}
+}
+
+// TestTrigramSurvivesLeadingError is the blocker's reason to exist: a
+// corrupted first character defeats a lexicographic SNM sort on that
+// attribute, but the trigram signatures still collide.
+func TestTrigramSurvivesLeadingError(t *testing.T) {
+	ds := &dedup.Dataset{
+		Name:  "leading",
+		Attrs: []string{"last_name"},
+	}
+	// Two spellings of the same surname differing in the first character,
+	// separated lexicographically by filler names between W and X.
+	names := []string{"XILLIAMSON", "WOOD", "WOODS", "WORTH", "WRIGHT", "WU", "WYATT", "ADAMS", "BAKER", "CLARK", "WILLIAMSON"}
+	for i, nm := range names {
+		ds.Records = append(ds.Records, []string{nm})
+		c := i
+		if nm == "XILLIAMSON" || nm == "WILLIAMSON" {
+			c = -1
+		}
+		ds.ClusterOf = append(ds.ClusterOf, c)
+	}
+	snmOnly, _ := Generate(ds, Config{Passes: EntropyPasses(ds, 1), Window: 3, Workers: 1})
+	if Recall(ds, snmOnly) == 1 {
+		t.Fatalf("test is vacuous: window-3 SNM already finds the leading-error pair")
+	}
+	withTrigram, _ := Generate(ds, Config{
+		Passes:  EntropyPasses(ds, 1),
+		Window:  3,
+		Trigram: &TrigramConfig{Attrs: []int{0}},
+		Workers: 1,
+	})
+	if r := Recall(ds, withTrigram); r != 1 {
+		t.Fatalf("trigram banding missed the leading-error duplicate (recall %.3f)", r)
+	}
+}
+
+// TestTrigramEmptyValuesNotBlocked: records whose signature attributes are
+// all empty must not bucket together (they would form one giant cluster of
+// unrelated records).
+func TestTrigramEmptyValuesNotBlocked(t *testing.T) {
+	ds := &dedup.Dataset{Name: "empties", Attrs: []string{"a", "b"}}
+	for i := 0; i < 10; i++ {
+		ds.Records = append(ds.Records, []string{"", "  "})
+		ds.ClusterOf = append(ds.ClusterOf, i)
+	}
+	pairs, stats := Generate(ds, Config{Trigram: &TrigramConfig{}, Workers: 2})
+	if len(pairs) != 0 {
+		t.Fatalf("%d pairs from all-empty signature values", len(pairs))
+	}
+	if stats.Buckets != 0 {
+		t.Fatalf("%d buckets from all-empty signature values", stats.Buckets)
+	}
+}
+
+// TestTrigramMaxBucketCap: a value shared by more records than MaxBucket
+// must be skipped and counted, not exploded into its quadratic pair set.
+func TestTrigramMaxBucketCap(t *testing.T) {
+	ds := &dedup.Dataset{Name: "cap", Attrs: []string{"a"}}
+	for i := 0; i < 20; i++ {
+		ds.Records = append(ds.Records, []string{"IDENTICAL VALUE"})
+		ds.ClusterOf = append(ds.ClusterOf, i)
+	}
+	pairs, stats := Generate(ds, Config{Trigram: &TrigramConfig{MaxBucket: 5}, Workers: 2})
+	if len(pairs) != 0 {
+		t.Fatalf("capped bucket still emitted %d pairs", len(pairs))
+	}
+	if stats.OversizeBuckets == 0 {
+		t.Fatal("oversize bucket not counted")
+	}
+	// Negative disables the cap: the full quadratic set appears.
+	pairs, _ = Generate(ds, Config{Trigram: &TrigramConfig{MaxBucket: -1}, Workers: 2})
+	if want := 20 * 19 / 2; len(pairs) != want {
+		t.Fatalf("uncapped identical bucket: got %d pairs, want %d", len(pairs), want)
+	}
+}
+
+// TestTrigramSeedVariesBuckets: different seeds select different minhash
+// families; identical values must still collide under any seed.
+func TestTrigramSeedVariesBuckets(t *testing.T) {
+	ds := testDataset(41, 60)
+	a, _ := Generate(ds, Config{Trigram: &TrigramConfig{Seed: 1}, Workers: 2})
+	b, _ := Generate(ds, Config{Trigram: &TrigramConfig{Seed: 1}, Workers: 4})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, different worker count: pair sets diverge")
+	}
+}

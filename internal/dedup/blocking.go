@@ -7,7 +7,9 @@ import (
 	"repro/internal/simil"
 )
 
-// Pair is a candidate record pair with i < j.
+// Pair is a candidate record pair with i < j — the unit of work the
+// blocking stage (§6.5) hands to the similarity measures, and the unit the
+// candidate-reduction numbers of the paper's evaluation count.
 type Pair struct{ I, J int }
 
 // SortedNeighborhood runs a multi-pass Sorted Neighborhood Method: one pass
@@ -73,7 +75,8 @@ func sortDedupePairs(pairs []Pair) []Pair {
 }
 
 // MostUniqueAttrs returns the indices of the k attributes with the highest
-// entropy — the paper's choice of SNM sorting keys.
+// entropy — the paper's choice of SNM sorting keys (§6.5 sorts on the five
+// most unique attributes, reusing the §6.3 entropy weights).
 func MostUniqueAttrs(ds *Dataset, k int) []int {
 	cols := ds.Columns()
 	type ae struct {
@@ -96,11 +99,14 @@ func MostUniqueAttrs(ds *Dataset, k int) []int {
 }
 
 // KeyFunc derives a blocking key from a record's values; records sharing a
-// key land in the same block.
+// key land in the same block (or sort adjacently under SNM). The blocking
+// layer (internal/blocking) composes these into multi-pass configurations;
+// see docs/BLOCKING.md for the pass-key design space.
 type KeyFunc func(rec []string) string
 
 // SoundexKey blocks on the Soundex code of one attribute — the classic
-// phonetic blocking for name data.
+// phonetic blocking for name data (the same code §6.4 uses as an error
+// measure for phonetic typos, here turned into a sort key).
 func SoundexKey(attr int) KeyFunc {
 	return func(rec []string) string { return simil.Soundex(rec[attr]) }
 }
@@ -122,7 +128,8 @@ func ExactKey(attr int) KeyFunc {
 }
 
 // StandardBlocking emits all pairs within each block of each key function —
-// the classic alternative to the Sorted Neighborhood Method. Records with
+// the classic alternative to the Sorted Neighborhood Method the paper's
+// related work contrasts against (§2). Records with
 // an empty key are not blocked (they would all collide). maxBlock caps the
 // block size to bound the quadratic blow-up; 0 means unlimited.
 func StandardBlocking(ds *Dataset, keys []KeyFunc, maxBlock int) []Pair {
@@ -160,8 +167,8 @@ func StandardBlocking(ds *Dataset, keys []KeyFunc, maxBlock int) []Pair {
 }
 
 // BlockingRecall returns the fraction of gold-standard duplicate pairs
-// contained in the candidate set (the paper reports that no true duplicates
-// were lost by the reduction).
+// contained in the candidate set (§6.5: the paper reports that no true
+// duplicates were lost by the candidate reduction on NC1-NC3).
 func BlockingRecall(ds *Dataset, candidates []Pair) float64 {
 	truePairs := ds.NumTruePairs()
 	if truePairs == 0 {

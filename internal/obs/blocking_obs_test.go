@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blocking"
+)
+
+// Metrics must satisfy the blocking layer's observer interface so a
+// process generating candidates can expose the counters on /metrics.
+var _ blocking.Observer = (*Metrics)(nil)
+
+func TestBlockingPrometheusFamily(t *testing.T) {
+	m := NewMetrics()
+	m.AddN("blocking_runs", 1)
+	m.AddN("blocking_records", 500)
+	m.AddN("blocking_snm_passes", 5)
+	m.AddN("blocking_snm_pairs", 9000)
+	m.AddN("blocking_trigram_pairs", 1200)
+	m.AddN("blocking_trigram_buckets", 340)
+	m.AddN("blocking_trigram_oversize_buckets", 2)
+	m.AddN("blocking_pairs_emitted", 10200)
+	m.AddN("blocking_pairs_unique", 7600)
+	m.AddN("score_pairs_scored", 7600)
+
+	text := m.PrometheusText()
+	for _, want := range []string{
+		`blocking_pipeline_total{counter="runs"} 1`,
+		`blocking_pipeline_total{counter="records"} 500`,
+		`blocking_pipeline_total{counter="snm_passes"} 5`,
+		`blocking_pipeline_total{counter="snm_pairs"} 9000`,
+		`blocking_pipeline_total{counter="trigram_pairs"} 1200`,
+		`blocking_pipeline_total{counter="trigram_buckets"} 340`,
+		`blocking_pipeline_total{counter="trigram_oversize_buckets"} 2`,
+		`blocking_pipeline_total{counter="pairs_emitted"} 10200`,
+		`blocking_pipeline_total{counter="pairs_unique"} 7600`,
+		`score_pipeline_total{counter="pairs_scored"} 7600`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus text missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `http_server_events_total{event="blocking_`) {
+		t.Error("blocking counters leaked into the http_server_events_total family")
+	}
+	if strings.Contains(text, `score_pipeline_total{counter="blocking_`) ||
+		strings.Contains(text, `blocking_pipeline_total{counter="score_`) {
+		t.Error("blocking/score families cross-contaminated")
+	}
+}

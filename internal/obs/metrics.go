@@ -191,16 +191,20 @@ func (m *Metrics) PrometheusText() string {
 	fmt.Fprintf(&b, "# TYPE http_requests_in_flight gauge\n")
 	fmt.Fprintf(&b, "http_requests_in_flight %d\n", snap.InFlight)
 
-	// Counters split into four families: the ingest pipeline's ingest_*
-	// counters, the scoring engine's score_* counters, the document store's
-	// docstore_* counters, and the middleware's serving events.
-	var eventNames, ingestNames, scoreNames, docstoreNames, servingNames []string
+	// Counters split into families by prefix: the ingest pipeline's
+	// ingest_* counters, the scoring engine's score_* counters, the
+	// blocking layer's blocking_* counters, the document store's
+	// docstore_* counters, the serving snapshots' serving_* counters, and
+	// the middleware's events.
+	var eventNames, ingestNames, scoreNames, blockingNames, docstoreNames, servingNames []string
 	for name := range snap.Counters {
 		switch {
 		case strings.HasPrefix(name, "ingest_"):
 			ingestNames = append(ingestNames, name)
 		case strings.HasPrefix(name, "score_"):
 			scoreNames = append(scoreNames, name)
+		case strings.HasPrefix(name, "blocking_"):
+			blockingNames = append(blockingNames, name)
 		case strings.HasPrefix(name, "docstore_"):
 			docstoreNames = append(docstoreNames, name)
 		case strings.HasPrefix(name, "serving_"):
@@ -212,6 +216,7 @@ func (m *Metrics) PrometheusText() string {
 	sort.Strings(eventNames)
 	sort.Strings(ingestNames)
 	sort.Strings(scoreNames)
+	sort.Strings(blockingNames)
 	sort.Strings(docstoreNames)
 	sort.Strings(servingNames)
 	fmt.Fprintf(&b, "# HELP http_server_events_total Middleware events (panics, timeouts, shed).\n")
@@ -231,6 +236,14 @@ func (m *Metrics) PrometheusText() string {
 		fmt.Fprintf(&b, "# TYPE score_pipeline_total counter\n")
 		for _, name := range scoreNames {
 			fmt.Fprintf(&b, "score_pipeline_total{counter=%q} %d\n", strings.TrimPrefix(name, "score_"), snap.Counters[name])
+		}
+	}
+
+	if len(blockingNames) > 0 {
+		fmt.Fprintf(&b, "# HELP blocking_pipeline_total Candidate-generation layer counters (runs, records keyed, per-blocker pair emissions, buckets, unique candidates).\n")
+		fmt.Fprintf(&b, "# TYPE blocking_pipeline_total counter\n")
+		for _, name := range blockingNames {
+			fmt.Fprintf(&b, "blocking_pipeline_total{counter=%q} %d\n", strings.TrimPrefix(name, "blocking_"), snap.Counters[name])
 		}
 	}
 

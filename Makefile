@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race test-short serve-race serving-race ingest-race score-race blocking-race docstore-race conformance fuzz-smoke cover bench-matching bench-blocking bench-docstore bench-serving docs
+.PHONY: ci fmt vet build test race test-short serve-race serving-race ingest-race score-race blocking-race docstore-race delta-race conformance fuzz-smoke cover bench-matching bench-blocking bench-docstore bench-serving bench-delta docs
 
-ci: fmt vet build race docs conformance fuzz-smoke cover score-race blocking-race docstore-race serving-race bench-blocking bench-docstore bench-serving
+ci: fmt vet build race docs conformance fuzz-smoke cover score-race blocking-race docstore-race serving-race delta-race bench-blocking bench-docstore bench-serving bench-delta
 
 # Fail when any tracked Go file is not gofmt-clean.
 fmt:
@@ -72,6 +72,17 @@ docstore-race:
 	$(GO) test -race -run 'TestSaveLoadParallel|TestSaveParallel|TestLoadParallel|TestLoadRejects|TestLoadSkips|TestSegmented|TestPipeline|TestForEachParallel|TestFromDocDBParallel' \
 		./internal/docstore ./internal/core
 
+# The delta-ingest equivalence suite under the race detector — the
+# bit-identical-to-full-reimport guarantee of incremental snapshot
+# application (docs/ARCHITECTURE.md "Delta ingest"): the core delta and
+# fingerprint-index tests, the dirty-segment save oracle, and the testkit
+# differential oracle over the worker ladder {1, 2, 7, GOMAXPROCS} and
+# changed fractions {0%, 1%, 25%, 100%}.
+delta-race:
+	$(GO) test -race -run 'TestApplySnapshotDelta|TestDelta|TestFingerprintIndex|TestUpdateScoresOn' ./internal/core
+	$(GO) test -race -run 'TestDirtySave|TestSegmentCache|TestStrideSave|TestSegmentRangesStride' ./internal/docstore
+	$(GO) test -race -run 'TestConformanceDelta' ./internal/testkit
+
 # The unified conformance harness (docs/TESTING.md): the three differential
 # oracles — ingest, scoring, docstore — through internal/testkit under the
 # race detector, plus the fault-injection sweep, the examples smoke test
@@ -130,6 +141,12 @@ bench-docstore:
 # the numbers behind the EXPERIMENTS.md serving section (BENCH_serving.json).
 bench-serving:
 	$(GO) run ./cmd/ncbench -scale small -exp load
+
+# Incremental-application ladder (delta apply + dirty rescoring + dirty
+# segments vs full reimport at 1%/5%/25%/100% changed) — the numbers behind
+# the EXPERIMENTS.md delta section (BENCH_delta.json).
+bench-delta:
+	$(GO) run ./cmd/ncbench -scale small -exp delta
 
 # Fail when the README links to a docs/ file that does not exist.
 docs:

@@ -37,7 +37,11 @@
 // immediately, /v1/healthz flips from 503 to 200 when the first snapshot is
 // published. SIGHUP reloads the database directory and swaps the new
 // generation in atomically — in-flight requests keep their generation, and
-// a failed reload keeps the old one serving. On SIGINT/SIGTERM the server
+// a failed reload keeps the old one serving. Reloads decode through a
+// persistent segment cache: segments whose manifest CRC is unchanged since
+// the previous load (everything a dirty-segment `ncimport -delta` save kept
+// on disk) are not re-read, so reload cost tracks the changed fraction of
+// the store rather than its size. On SIGINT/SIGTERM the server
 // stops accepting connections, drains in-flight requests for up to -grace,
 // then exits 0.
 package main
@@ -84,9 +88,15 @@ func main() {
 
 	// load reads the database directory and publishes it as the next
 	// serving generation. On reload, any failure leaves the previous
-	// generation serving untouched.
+	// generation serving untouched. The segment cache persists across
+	// reloads: after `ncimport -delta` rewrote only the dirty segments, the
+	// SIGHUP reload re-reads and re-parses exactly those — every unchanged
+	// segment (same manifest CRC) resolves to its already decoded documents.
+	// Sharing decoded documents between generations is safe here because the
+	// serving path never mutates them.
+	cache := docstore.NewSegmentCache()
 	load := func() error {
-		stored, err := docstore.LoadParallelOpts(*db, docstore.LoadOpts{Workers: *storeWorkers})
+		stored, err := docstore.LoadParallelOpts(*db, docstore.LoadOpts{Workers: *storeWorkers, Cache: cache})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDeltaBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("delta bench rebuilds the base register per ladder point")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_delta.json")
+	res, err := RunDeltaBench(Tiny, 0, jsonPath, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(DeltaFractions) {
+		t.Fatalf("got %d points, want %d", len(res.Points), len(DeltaFractions))
+	}
+	if res.Clusters == 0 || res.BaseRows == 0 {
+		t.Fatalf("degenerate base register: %+v", res)
+	}
+	prevChanged := 0
+	for _, p := range res.Points {
+		if !p.Identical {
+			t.Errorf("fraction %g: delta-applied state diverges from full reimport", p.Fraction)
+		}
+		if p.ClustersRescored != p.ClustersChanged {
+			t.Errorf("fraction %g: rescored %d clusters, file changed %d",
+				p.Fraction, p.ClustersRescored, p.ClustersChanged)
+		}
+		// Proportionality: more changed clusters, never fewer rewritten
+		// segments, and always at least the meta segment plus one.
+		if p.ClustersChanged < prevChanged {
+			t.Errorf("fraction %g: changed clusters not monotone (%d after %d)",
+				p.Fraction, p.ClustersChanged, prevChanged)
+		}
+		prevChanged = p.ClustersChanged
+		if p.SegmentsRewritten < 1 || p.SegmentsRewritten+p.SegmentsReused != p.SegmentsTotal {
+			t.Errorf("fraction %g: segment accounting broken: %+v", p.Fraction, p)
+		}
+		if p.FullSeconds <= 0 || p.DeltaSeconds <= 0 {
+			t.Errorf("fraction %g: degenerate timings %+v", p.Fraction, p)
+		}
+	}
+	// The 100% point rescored every cluster; the 1% point a small sliver.
+	last := res.Points[len(res.Points)-1]
+	if last.ClustersRescored != res.Clusters || last.SegmentsReused != 0 {
+		t.Errorf("100%% point should rescore everything and reuse nothing: %+v", last)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("JSON output missing: %v", err)
+	}
+	var round DeltaResult
+	if err := json.Unmarshal(raw, &round); err != nil {
+		t.Fatalf("JSON output malformed: %v", err)
+	}
+	if len(round.Points) != len(res.Points) {
+		t.Errorf("JSON round trip lost points: %d vs %d", len(round.Points), len(res.Points))
+	}
+}

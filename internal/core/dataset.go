@@ -174,7 +174,14 @@ func (d *Dataset) BeginImport(date string) *Import {
 }
 
 // Add offers one row to the import.
-func (imp *Import) Add(r voter.Record) {
+func (imp *Import) Add(r voter.Record) { imp.addTracked(r, nil) }
+
+// addTracked is Add with optional delta bookkeeping: when dl is non-nil the
+// row is classified against the cluster's pre-apply state (see delta.go)
+// before the one shared mutation path runs. The classification never changes
+// what applyRow does, which is what keeps ApplySnapshotDelta bit-identical
+// to a plain import of the same rows.
+func (imp *Import) addTracked(r voter.Record, dl *Delta) {
 	if imp.closed {
 		panic("core: Add on a closed Import")
 	}
@@ -192,7 +199,12 @@ func (imp *Import) Add(r voter.Record) {
 		d.order = append(d.order, ncid)
 		imp.st.NewObjects++
 	}
-	if applyRow(c, r, voter.HashRecord(r, imp.hm), d.Mode, imp.version, imp.st.Snapshot) {
+	h := voter.HashRecord(r, imp.hm)
+	if dl != nil {
+		touch, grow := rowChanges(c, h, imp.st.Snapshot, d.Mode)
+		dl.note(c, touch, grow)
+	}
+	if applyRow(c, r, h, d.Mode, imp.version, imp.st.Snapshot) {
 		imp.st.NewRecords++
 	}
 }
@@ -260,7 +272,7 @@ func (d *Dataset) ImportSnapshotFile(path string) (ImportStats, error) {
 		return ImportStats{}, err
 	}
 	defer f.Close()
-	return d.importReaderSequential(f)
+	return d.importReaderSequential(f, nil)
 }
 
 // Publish closes the pending import round as a new version (Fig. 2, step 3)

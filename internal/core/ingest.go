@@ -46,18 +46,19 @@ func (d *Dataset) ImportSnapshotFileParallelOpts(path string, opts IngestOptions
 		return ImportStats{}, err
 	}
 	defer f.Close()
-	return d.importReaderParallel(f, opts)
+	return d.importReaderParallel(f, opts, nil)
 }
 
 // importReaderSequential is the single-goroutine import shared by
-// ImportSnapshotFile and the workers == 1 path of the parallel importer.
-func (d *Dataset) importReaderSequential(r io.Reader) (ImportStats, error) {
+// ImportSnapshotFile, the workers == 1 path of the parallel importer and
+// (with a non-nil delta) the sequential delta apply.
+func (d *Dataset) importReaderSequential(r io.Reader, dl *Delta) (ImportStats, error) {
 	var imp *Import
 	if _, err := voter.StreamTSV(r, func(rec voter.Record) error {
 		if imp == nil {
 			imp = d.BeginImport(rec.SnapshotDate())
 		}
-		imp.Add(rec)
+		imp.addTracked(rec, dl)
 		return nil
 	}); err != nil {
 		return ImportStats{}, err

@@ -25,12 +25,23 @@ func (d *Dataset) UpdateScoresParallel(kind string, scorer PairScorer, workers i
 // similarity map, so for deterministic scorers the outcome is identical to
 // sequential for any worker count.
 func (d *Dataset) UpdateScoresParallelFactory(kind string, factory func() PairScorer, workers int) {
+	d.UpdateScoresParallelFactoryOn(kind, factory, workers, nil)
+}
+
+// UpdateScoresParallelFactoryOn is UpdateScoresParallelFactory restricted to
+// the given NCIDs (Delta.Dirty's rescoring scope): nil means every cluster,
+// an empty non-nil slice means none, unknown NCIDs are ignored. Identical to
+// UpdateScoresOn for any worker count.
+func (d *Dataset) UpdateScoresParallelFactoryOn(kind string, factory func() PairScorer, workers int, ncids []string) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		d.UpdateScores(kind, factory())
+		d.UpdateScoresOn(kind, factory(), ncids)
 		return
+	}
+	if ncids == nil {
+		ncids = d.order
 	}
 	jobs := make(chan *Cluster, workers*2)
 	var wg sync.WaitGroup
@@ -44,8 +55,10 @@ func (d *Dataset) UpdateScoresParallelFactory(kind string, factory func() PairSc
 			}
 		}()
 	}
-	for _, id := range d.order {
-		jobs <- d.clusters[id]
+	for _, id := range ncids {
+		if c := d.clusters[id]; c != nil {
+			jobs <- c
+		}
 	}
 	close(jobs)
 	wg.Wait()

@@ -77,17 +77,22 @@ type shardResult struct {
 	created    []createdCluster
 	newRecords int
 	newObjects int
-	removed    int64 // duplicate rows dropped by the removal mode
+	removed    int64  // duplicate rows dropped by the removal mode
+	dl         *Delta // shard-local delta bookkeeping; nil on plain imports
 }
 
-// importReaderParallel runs the pipeline over one snapshot stream.
-func (d *Dataset) importReaderParallel(r io.Reader, opts IngestOptions) (ImportStats, error) {
+// importReaderParallel runs the pipeline over one snapshot stream. A non-nil
+// dl turns on delta bookkeeping: each shard classifies its rows against the
+// cluster's pre-apply state into a shard-local Delta (NCIDs are disjoint
+// across shards, so the per-shard sets merge without overlap) that is
+// absorbed into dl after the shards drain.
+func (d *Dataset) importReaderParallel(r io.Reader, opts IngestOptions, dl *Delta) (ImportStats, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		return d.importReaderSequential(r)
+		return d.importReaderSequential(r, dl)
 	}
 	chunkBytes := opts.ChunkBytes
 	if chunkBytes <= 0 {
@@ -159,11 +164,15 @@ func (d *Dataset) importReaderParallel(r io.Reader, opts IngestOptions) (ImportS
 	var swg sync.WaitGroup
 	for s := 0; s < nshards; s++ {
 		shardChs[s] = make(chan shardBatch, 4)
+		var shardDl *Delta
+		if dl != nil {
+			shardDl = dl.sibling()
+		}
 		swg.Add(1)
-		go func(si int) {
+		go func(si int, sdl *Delta) {
 			defer swg.Done()
-			results[si] = d.buildShard(shardChs[si], version, &stallBuild)
-		}(s)
+			results[si] = d.buildShard(shardChs[si], version, &stallBuild, sdl)
+		}(s, shardDl)
 	}
 
 	// Stage 3: sequencer, on the calling goroutine. Restores block order,
@@ -239,6 +248,9 @@ func (d *Dataset) importReaderParallel(r io.Reader, opts IngestOptions) (ImportS
 		newRecords += res.newRecords
 		newObjects += res.newObjects
 		removed += res.removed
+		if dl != nil && res.dl != nil {
+			dl.absorb(res.dl)
+		}
 	}
 	sort.Slice(created, func(i, j int) bool { return created[i].row < created[j].row })
 	for _, cc := range created {
@@ -273,9 +285,11 @@ func (d *Dataset) importReaderParallel(r io.Reader, opts IngestOptions) (ImportS
 // buildShard consumes one shard's batches and applies them to the clusters
 // the shard owns. Pre-existing clusters are looked up in d.clusters (which
 // no goroutine mutates during the import); new ones are recorded with their
-// first-seen row for the ordered merge.
-func (d *Dataset) buildShard(ch <-chan shardBatch, version int, stall *atomic.Int64) shardResult {
-	var res shardResult
+// first-seen row for the ordered merge. A non-nil dl (shard-local) records
+// the delta classification of every row before the shared applyRow mutation
+// runs, exactly like the sequential addTracked.
+func (d *Dataset) buildShard(ch <-chan shardBatch, version int, stall *atomic.Int64, dl *Delta) shardResult {
+	res := shardResult{dl: dl}
 	owned := map[string]*Cluster{}
 	for {
 		t := time.Now()
@@ -293,6 +307,10 @@ func (d *Dataset) buildShard(ch <-chan shardBatch, version int, stall *atomic.In
 					res.newObjects++
 				}
 				owned[ir.ncid] = c
+			}
+			if dl != nil {
+				touch, grow := rowChanges(c, ir.hash, b.date, d.Mode)
+				dl.note(c, touch, grow)
 			}
 			if applyRow(c, ir.rec, ir.hash, d.Mode, version, b.date) {
 				res.newRecords++

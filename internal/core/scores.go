@@ -27,8 +27,22 @@ const (
 // never recomputed — the record order inside a cluster never changes
 // (§5.2).
 func (d *Dataset) UpdateScores(kind string, scorer PairScorer) {
-	for _, id := range d.order {
-		scoreCluster(d.clusters[id], kind, scorer)
+	d.UpdateScoresOn(kind, scorer, nil)
+}
+
+// UpdateScoresOn is UpdateScores restricted to the given NCIDs — the delta
+// path's rescoring scope (Delta.Dirty). A nil slice means every cluster; an
+// empty non-nil slice means none. NCIDs without a cluster are ignored.
+// Because scoreCluster only ever computes missing pairs, scoring a subset
+// now and the rest later yields the same maps as scoring everything at once.
+func (d *Dataset) UpdateScoresOn(kind string, scorer PairScorer, ncids []string) {
+	if ncids == nil {
+		ncids = d.order
+	}
+	for _, id := range ncids {
+		if c := d.clusters[id]; c != nil {
+			scoreCluster(c, kind, scorer)
+		}
 	}
 }
 

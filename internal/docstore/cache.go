@@ -1,0 +1,63 @@
+package docstore
+
+import "sync"
+
+// SegmentCache memoizes decoded segments across loads of the same store
+// directory, keyed by the manifest's (file, bytes, CRC32) triple. After a
+// dirty-segment save rewrites only the touched segments, a reload through
+// the cache re-reads and re-parses exactly those — every byte-identical
+// segment resolves to its previously decoded documents, so the reload cost
+// of a k%-changed delta import is O(k), matching the save. ncserve threads
+// one cache through its SIGHUP reloads.
+//
+// A hit trusts the manifest the way the loader itself does: the triple
+// identifies the segment's exact byte content (the CRC the save computed
+// over the bytes it renamed into place), so the on-disk file is not re-read.
+// Cached documents are shared by reference between every load that hits —
+// callers must treat loaded documents as immutable (the read-only serving
+// path qualifies; Collection.Update would write through into other
+// generations). The zero value is not usable; NewSegmentCache constructs.
+type SegmentCache struct {
+	mu sync.Mutex
+	m  map[segmentKey][]Document
+}
+
+// segmentKey identifies one exact segment generation.
+type segmentKey struct {
+	file  string
+	bytes int64
+	crc   uint32
+}
+
+// NewSegmentCache returns an empty cache, safe for concurrent use.
+func NewSegmentCache() *SegmentCache {
+	return &SegmentCache{m: map[segmentKey][]Document{}}
+}
+
+// Len returns the number of cached segments.
+func (sc *SegmentCache) Len() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.m)
+}
+
+// lookup returns the cached documents for info, or nil.
+func (sc *SegmentCache) lookup(info segmentInfo) []Document {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.m[segmentKey{info.File, info.Bytes, info.CRC32}]
+}
+
+// store remembers docs as the decode of info. Earlier generations of the
+// same file are dropped: a reload only ever sees the manifest's current
+// triple, so stale entries would just pin memory.
+func (sc *SegmentCache) store(info segmentInfo, docs []Document) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for k := range sc.m {
+		if k.file == info.File && k.crc != info.CRC32 {
+			delete(sc.m, k)
+		}
+	}
+	sc.m[segmentKey{info.File, info.Bytes, info.CRC32}] = docs
+}

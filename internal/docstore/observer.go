@@ -17,14 +17,22 @@ type StoreObserver interface {
 const (
 	CounterSegmentsWritten = "docstore_segments_written"
 	CounterSegmentsRead    = "docstore_segments_read"
-	CounterBytesWritten    = "docstore_bytes_written"
-	CounterBytesRead       = "docstore_bytes_read"
-	CounterDocsWritten     = "docstore_docs_written"
-	CounterDocsRead        = "docstore_docs_read"
-	CounterPipelineRuns    = "docstore_pipeline_runs"
-	CounterPushdownHits    = "docstore_pushdown_hits"
-	CounterDocsScanned     = "docstore_docs_scanned"
-	CounterDocsCloned      = "docstore_docs_cloned"
+	// CounterSegmentsReused counts segments a dirty-segment save kept on disk
+	// untouched; CounterDeltaFullRewrites counts dirty saves that had to fall
+	// back to a full rewrite (missing/foreign manifest or changed layout).
+	CounterSegmentsReused    = "docstore_segments_reused"
+	CounterDeltaFullRewrites = "docstore_delta_full_rewrites"
+	// CounterSegmentsCached counts segments a reload decoded from a
+	// SegmentCache instead of re-reading and re-parsing the file.
+	CounterSegmentsCached = "docstore_segments_cached"
+	CounterBytesWritten   = "docstore_bytes_written"
+	CounterBytesRead      = "docstore_bytes_read"
+	CounterDocsWritten    = "docstore_docs_written"
+	CounterDocsRead       = "docstore_docs_read"
+	CounterPipelineRuns   = "docstore_pipeline_runs"
+	CounterPushdownHits   = "docstore_pushdown_hits"
+	CounterDocsScanned    = "docstore_docs_scanned"
+	CounterDocsCloned     = "docstore_docs_cloned"
 )
 
 // addN reports to a possibly nil observer, skipping zero deltas.

@@ -54,10 +54,15 @@ var segmentFileRe = regexp.MustCompile(`^(.+)\.(\d{2,})\.jsonl$`)
 
 // segmentManifest is the on-disk manifest of one segmented collection.
 type segmentManifest struct {
-	Version    int           `json:"version"`
-	Collection string        `json:"collection"`
-	Docs       int           `json:"docs"`
-	Segments   []segmentInfo `json:"segments"`
+	Version    int    `json:"version"`
+	Collection string `json:"collection"`
+	Docs       int    `json:"docs"`
+	// Stride records the stable-layout document stride the save used, 0 for
+	// the balanced partition. Dirty-segment saves reuse old segments only
+	// when the recorded stride equals their own — the guarantee that both
+	// generations assign identical [lo, hi) ranges to identical indexes.
+	Stride   int           `json:"stride,omitempty"`
+	Segments []segmentInfo `json:"segments"`
 }
 
 // segmentInfo describes one segment file; Bytes and CRC32 let the loader
@@ -78,6 +83,25 @@ type SaveOpts struct {
 	// the document count (one segment per segmentTargetDocs documents,
 	// capped at maxSegments).
 	Segments int
+	// Stride, when > 0, replaces the balanced partition with a stable one:
+	// segment i holds documents [i*Stride, (i+1)*Stride), uncapped segment
+	// count. The layout of a document then depends only on its insertion
+	// position — growing a collection changes the tail segments and leaves
+	// every earlier one byte-identical — which is the precondition for Dirty
+	// saves reusing untouched segments. Stride wins over Segments.
+	Stride int
+	// Dirty, when non-nil, switches collections it names into dirty-segment
+	// mode: only segments containing a listed document id (or whose layout
+	// slot changed) are rewritten, the rest keep their on-disk bytes and the
+	// manifest re-stamps around them. Collections absent from the map are
+	// fully rewritten as usual. Correctness contract: the set must cover
+	// every document whose encoded bytes changed since the previous save of
+	// the same directory, and that save must have used the same Stride
+	// (core.Delta.DirtyIDs satisfies the former; a differing or unknown
+	// previous layout is detected and falls back to a full rewrite). Dirty
+	// mode requires Stride > 0 — without a stable layout every boundary may
+	// shift — and is ignored otherwise.
+	Dirty map[string]map[string]bool
 	// Observer receives the docstore_* persistence counters; nil drops them.
 	Observer StoreObserver
 	// FS substitutes the filesystem the save runs on; nil selects OSFS.
@@ -94,6 +118,11 @@ type LoadOpts struct {
 	// FS substitutes the filesystem the segmented load reads from; nil
 	// selects OSFS. Flat .jsonl files always read through the OS.
 	FS FS
+	// Cache, when non-nil, memoizes decoded segments across loads keyed by
+	// the manifest's (file, bytes, CRC32) triple — see SegmentCache for the
+	// sharing contract. Unchanged segments of a reload skip both the read
+	// and the parse.
+	Cache *SegmentCache
 }
 
 // validate rejects structurally malformed manifests before any allocation
@@ -195,24 +224,117 @@ func segmentCount(docs, requested int) int {
 	return n
 }
 
-// segmentFileName names segment i of a collection.
+// segmentFileName names segment i of a collection. %02d widens on its own
+// past two digits, matching segmentFileRe's 2-plus-digit pattern, so the
+// uncapped Stride layout needs no separate naming scheme.
 func segmentFileName(name string, i int) string {
 	return fmt.Sprintf("%s.%02d.jsonl", name, i)
+}
+
+// segmentRanges partitions docs documents into contiguous [lo, hi) ranges:
+// the stable stride layout when stride > 0, otherwise the balanced partition
+// into n segments. Both depend only on their inputs, never on the workers.
+func segmentRanges(docs, n, stride int) [][2]int {
+	if stride > 0 {
+		n = (docs + stride - 1) / stride
+		if n < 1 {
+			n = 1
+		}
+		out := make([][2]int, n)
+		for i := range out {
+			lo := i * stride
+			hi := lo + stride
+			if hi > docs {
+				hi = docs
+			}
+			out[i] = [2]int{lo, hi}
+		}
+		return out
+	}
+	out := make([][2]int, n)
+	for i := range out {
+		out[i] = [2]int{i * docs / n, (i + 1) * docs / n}
+	}
+	return out
+}
+
+// planDirtySave decides, per segment of the new layout, whether the previous
+// save's on-disk segment can be kept: reuse[i] holds the old manifest entry
+// when segment i needs no rewrite (same file name, same document count —
+// with contiguous same-stride ranges that pins the identical [lo, hi) slice
+// — present on disk, and no dirty id inside), or a zero entry when it must
+// be written. ok = false demands a full rewrite: no previous manifest, a
+// manifest this loader would reject, a previous save under a different
+// layout (balanced, or another stride), or a shrunken collection — reusing
+// across any of those would stitch a mixed-generation manifest together.
+// Pure tail growth under the same stride keeps the prefix segments valid:
+// document positions never shift, so segment i's range is generation-stable.
+func planDirtySave(fsys FS, dir, name string, docs []Document, ranges [][2]int, stride int, dirty map[string]bool) (reuse []segmentInfo, ok bool) {
+	manPath := filepath.Join(dir, name+manifestSuffix)
+	raw, err := fsys.ReadFile(manPath)
+	if err != nil {
+		return nil, false
+	}
+	var man segmentManifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, false
+	}
+	if man.Version != manifestVersion || man.Collection != name ||
+		man.validate(manPath) != nil || man.Stride != stride ||
+		len(man.Segments) > len(ranges) || man.Docs > len(docs) {
+		return nil, false
+	}
+	onDisk := map[string]bool{}
+	if entries, err := fsys.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			onDisk[e.Name()] = true
+		}
+	}
+	reuse = make([]segmentInfo, len(ranges))
+	for i := range man.Segments {
+		info := man.Segments[i]
+		r := ranges[i]
+		if info.File != segmentFileName(name, i) || info.Docs != r[1]-r[0] || !onDisk[info.File] {
+			continue
+		}
+		clean := true
+		for _, d := range docs[r[0]:r[1]] {
+			if id, _ := d["_id"].(string); dirty[id] {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			reuse[i] = info
+		}
+	}
+	return reuse, true
 }
 
 // saveSegmented writes the collection as segments plus a manifest into dir.
 func (c *Collection) saveSegmented(dir string, opts SaveOpts) error {
 	fsys := fsOrDefault(opts.FS)
 	docs := c.snapshotDocs()
-	n := segmentCount(len(docs), opts.Segments)
+	ranges := segmentRanges(len(docs), segmentCount(len(docs), opts.Segments), opts.Stride)
+	n := len(ranges)
+
+	// Dirty-segment mode: keep previous-generation segments that provably
+	// hold the same bytes, rewrite the rest.
+	var reuse []segmentInfo
+	if dirty, wantDirty := opts.Dirty[c.name]; wantDirty && opts.Stride > 0 {
+		var planned bool
+		reuse, planned = planDirtySave(fsys, dir, c.name, docs, ranges, opts.Stride, dirty)
+		if !planned {
+			addN(opts.Observer, CounterDeltaFullRewrites, 1)
+		}
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	workers = min(workers, n)
 
-	// Balanced contiguous partition: segment i holds docs[i*len/n :
-	// (i+1)*len/n]. Depends only on (len(docs), n).
 	infos := make([]segmentInfo, n)
 	errs := make([]error, n)
 	jobs := make(chan int)
@@ -222,13 +344,19 @@ func (c *Collection) saveSegmented(dir string, opts SaveOpts) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				lo, hi := i*len(docs)/n, (i+1)*len(docs)/n
+				lo, hi := ranges[i][0], ranges[i][1]
 				infos[i], errs[i] = writeSegment(
 					fsys, filepath.Join(dir, segmentFileName(c.name, i)), docs[lo:hi])
 			}
 		}()
 	}
+	written := 0
 	for i := 0; i < n; i++ {
+		if reuse != nil && reuse[i].File != "" {
+			infos[i] = reuse[i]
+			continue
+		}
+		written++
 		jobs <- i
 	}
 	close(jobs)
@@ -245,6 +373,7 @@ func (c *Collection) saveSegmented(dir string, opts SaveOpts) error {
 		Version:    manifestVersion,
 		Collection: c.name,
 		Docs:       len(docs),
+		Stride:     max(opts.Stride, 0),
 		Segments:   infos,
 	}
 	body, err := json.MarshalIndent(man, "", "  ")
@@ -268,12 +397,18 @@ func (c *Collection) saveSegmented(dir string, opts SaveOpts) error {
 	removeStaleSegments(fsys, dir, c.name, n)
 
 	o := opts.Observer
-	addN(o, CounterSegmentsWritten, int64(n))
-	addN(o, CounterDocsWritten, int64(len(docs)))
+	addN(o, CounterSegmentsWritten, int64(written))
+	addN(o, CounterSegmentsReused, int64(n-written))
 	var totalBytes int64
-	for _, info := range infos {
+	docsWritten := 0
+	for i, info := range infos {
+		if reuse != nil && reuse[i].File != "" {
+			continue
+		}
 		totalBytes += info.Bytes
+		docsWritten += info.Docs
 	}
+	addN(o, CounterDocsWritten, int64(docsWritten))
 	addN(o, CounterBytesWritten, totalBytes)
 	return nil
 }
@@ -446,7 +581,7 @@ func (c *Collection) loadSegmented(dir string, opts LoadOpts) error {
 
 	segDocs := make([][]Document, len(man.Segments))
 	errs := make([]error, len(man.Segments))
-	var bytesRead int64
+	var bytesRead, cached int64
 	var bytesMu sync.Mutex
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -460,10 +595,20 @@ func (c *Collection) loadSegmented(dir string, opts LoadOpts) error {
 				bytesMu.Lock()
 				bytesRead += n
 				bytesMu.Unlock()
+				if errs[i] == nil && opts.Cache != nil {
+					opts.Cache.store(man.Segments[i], segDocs[i])
+				}
 			}
 		}()
 	}
 	for i := range man.Segments {
+		if opts.Cache != nil {
+			if docs := opts.Cache.lookup(man.Segments[i]); docs != nil {
+				segDocs[i] = docs
+				cached++
+				continue
+			}
+		}
 		jobs <- i
 	}
 	close(jobs)
@@ -492,7 +637,8 @@ func (c *Collection) loadSegmented(dir string, opts LoadOpts) error {
 	}
 
 	o := opts.Observer
-	addN(o, CounterSegmentsRead, int64(len(man.Segments)))
+	addN(o, CounterSegmentsRead, int64(len(man.Segments))-cached)
+	addN(o, CounterSegmentsCached, cached)
 	addN(o, CounterDocsRead, int64(total))
 	addN(o, CounterBytesRead, bytesRead)
 	return nil

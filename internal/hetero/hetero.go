@@ -212,6 +212,19 @@ func UpdateParallel(d *core.Dataset, workers int) {
 	d.UpdateScoresParallelFactory(core.KindHeteroPerson, person.CorePairScorerFactory(), workers)
 }
 
+// UpdateDelta scores only the clusters a delta apply marked dirty
+// (dl.Dirty()). The entropy weights are derived from the grown dataset's
+// cluster representatives — exactly the weights a full UpdateParallel would
+// use at this point — and already-scored pairs are never revisited, so
+// delta-scoring after each apply matches full scoring bit for bit as long
+// as scores were current before the delta.
+func UpdateDelta(d *core.Dataset, dl *core.Delta, workers int) {
+	all := NewScorer(AllColumns(), DatasetWeights(d, AllColumns()))
+	person := NewScorer(PersonColumns(), DatasetWeights(d, PersonColumns()))
+	d.UpdateScoresParallelFactoryOn(core.KindHeteroAll, all.CorePairScorerFactory(), workers, dl.Dirty())
+	d.UpdateScoresParallelFactoryOn(core.KindHeteroPerson, person.CorePairScorerFactory(), workers, dl.Dirty())
+}
+
 // ClusterHeterogeneity returns the per-cluster heterogeneity (1 - mean pair
 // similarity) of the given kind for clusters with at least two records.
 func ClusterHeterogeneity(d *core.Dataset, kind string) []float64 {

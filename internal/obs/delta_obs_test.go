@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Metrics must satisfy core's ingest observer so a delta apply can report
+// its counters straight onto /metrics.
+var _ core.IngestObserver = (*Metrics)(nil)
+
+func TestDeltaPrometheusFamily(t *testing.T) {
+	m := NewMetrics()
+	m.AddN("delta_applies", 2)
+	m.AddN("delta_rows_decoded", 1000)
+	m.AddN("delta_rows_unchanged", 950)
+	m.AddN("delta_records_added", 40)
+	m.AddN("delta_new_objects", 10)
+	m.AddN("delta_clusters_touched", 45)
+	m.AddN("delta_clusters_dirty", 30)
+	m.AddN("delta_clusters_rescored", 30)
+	m.AddN("ingest_rows_decoded", 1000)
+
+	text := m.PrometheusText()
+	for _, want := range []string{
+		`delta_pipeline_total{counter="applies"} 2`,
+		`delta_pipeline_total{counter="rows_decoded"} 1000`,
+		`delta_pipeline_total{counter="rows_unchanged"} 950`,
+		`delta_pipeline_total{counter="records_added"} 40`,
+		`delta_pipeline_total{counter="new_objects"} 10`,
+		`delta_pipeline_total{counter="clusters_touched"} 45`,
+		`delta_pipeline_total{counter="clusters_dirty"} 30`,
+		`delta_pipeline_total{counter="clusters_rescored"} 30`,
+		`ingest_pipeline_total{counter="rows_decoded"} 1000`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus text missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `http_server_events_total{event="delta_`) {
+		t.Error("delta counters leaked into the http_server_events_total family")
+	}
+	if strings.Contains(text, `ingest_pipeline_total{counter="delta_`) ||
+		strings.Contains(text, `delta_pipeline_total{counter="ingest_`) {
+		t.Error("delta/ingest families cross-contaminated")
+	}
+}

@@ -192,15 +192,18 @@ func (m *Metrics) PrometheusText() string {
 	fmt.Fprintf(&b, "http_requests_in_flight %d\n", snap.InFlight)
 
 	// Counters split into families by prefix: the ingest pipeline's
-	// ingest_* counters, the scoring engine's score_* counters, the
+	// ingest_* counters, the delta-apply layer's delta_* counters, the
+	// scoring engine's score_* counters, the
 	// blocking layer's blocking_* counters, the document store's
 	// docstore_* counters, the serving snapshots' serving_* counters, and
 	// the middleware's events.
-	var eventNames, ingestNames, scoreNames, blockingNames, docstoreNames, servingNames []string
+	var eventNames, ingestNames, deltaNames, scoreNames, blockingNames, docstoreNames, servingNames []string
 	for name := range snap.Counters {
 		switch {
 		case strings.HasPrefix(name, "ingest_"):
 			ingestNames = append(ingestNames, name)
+		case strings.HasPrefix(name, "delta_"):
+			deltaNames = append(deltaNames, name)
 		case strings.HasPrefix(name, "score_"):
 			scoreNames = append(scoreNames, name)
 		case strings.HasPrefix(name, "blocking_"):
@@ -215,6 +218,7 @@ func (m *Metrics) PrometheusText() string {
 	}
 	sort.Strings(eventNames)
 	sort.Strings(ingestNames)
+	sort.Strings(deltaNames)
 	sort.Strings(scoreNames)
 	sort.Strings(blockingNames)
 	sort.Strings(docstoreNames)
@@ -229,6 +233,13 @@ func (m *Metrics) PrometheusText() string {
 		fmt.Fprintf(&b, "# TYPE ingest_pipeline_total counter\n")
 		for _, name := range ingestNames {
 			fmt.Fprintf(&b, "ingest_pipeline_total{counter=%q} %d\n", strings.TrimPrefix(name, "ingest_"), snap.Counters[name])
+		}
+	}
+	if len(deltaNames) > 0 {
+		fmt.Fprintf(&b, "# HELP delta_pipeline_total Incremental snapshot application counters (applies, rows decoded/unchanged, records and objects added, clusters touched/dirty/rescored).\n")
+		fmt.Fprintf(&b, "# TYPE delta_pipeline_total counter\n")
+		for _, name := range deltaNames {
+			fmt.Fprintf(&b, "delta_pipeline_total{counter=%q} %d\n", strings.TrimPrefix(name, "delta_"), snap.Counters[name])
 		}
 	}
 	if len(scoreNames) > 0 {

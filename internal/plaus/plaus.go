@@ -165,6 +165,15 @@ func UpdateParallel(d *core.Dataset, workers int) {
 	d.UpdateScoresParallelFactory(core.KindPlausibility, ScorerFactory(), workers)
 }
 
+// UpdateDelta scores only the clusters a delta apply marked dirty
+// (dl.Dirty()). Because pair scores are computed once and never revisited,
+// scoring the dirty subset after each delta yields maps bit-identical to a
+// full UpdateParallel over the grown dataset — provided scores were current
+// before the delta was applied.
+func UpdateDelta(d *core.Dataset, dl *core.Delta, workers int) {
+	d.UpdateScoresParallelFactoryOn(core.KindPlausibility, ScorerFactory(), workers, dl.Dirty())
+}
+
 // ClusterPlausibility returns the dataset's per-cluster plausibility: the
 // minimum pair score, because a cluster is already unsound if a single
 // record refers to another voter.

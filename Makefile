@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race test-short serve-race serving-race ingest-race score-race blocking-race docstore-race delta-race conformance fuzz-smoke cover bench-matching bench-blocking bench-docstore bench-serving bench-delta docs
+.PHONY: ci fmt vet build test race test-short serve-race serving-race ingest-race score-race blocking-race docstore-race delta-race stream-race conformance fuzz-smoke cover bench-matching bench-blocking bench-docstore bench-serving bench-delta bench-dedup docs
 
-ci: fmt vet build race docs conformance fuzz-smoke cover score-race blocking-race docstore-race serving-race delta-race bench-blocking bench-docstore bench-serving bench-delta
+ci: fmt vet build race docs conformance fuzz-smoke cover score-race blocking-race docstore-race serving-race delta-race stream-race bench-blocking bench-docstore bench-serving bench-delta bench-dedup
 
 # Fail when any tracked Go file is not gofmt-clean.
 fmt:
@@ -83,6 +83,16 @@ delta-race:
 	$(GO) test -race -run 'TestDirtySave|TestSegmentCache|TestStrideSave|TestSegmentRangesStride' ./internal/docstore
 	$(GO) test -race -run 'TestConformanceDelta' ./internal/testkit
 
+# The streaming-dedup equivalence suite under the race detector — the
+# bit-identical-to-materialized guarantee of the fused pipeline
+# (docs/BLOCKING.md "Streaming mode"): the producer's own ladder tests, the
+# streaming scorer's equivalence tests, and the end-to-end testkit oracle
+# over the worker ladder {1, 2, 7, GOMAXPROCS}.
+stream-race:
+	$(GO) test -race -run 'TestStream|TestSNMSource' ./internal/blocking
+	$(GO) test -race -run 'TestStream|TestThresholdBucket|TestCurveFromCounts|TestMemo' ./internal/dedup
+	$(GO) test -race -run 'TestConformanceStreamingDedup' ./internal/testkit
+
 # The unified conformance harness (docs/TESTING.md): the three differential
 # oracles — ingest, scoring, docstore — through internal/testkit under the
 # race detector, plus the fault-injection sweep, the examples smoke test
@@ -147,6 +157,14 @@ bench-serving:
 # the EXPERIMENTS.md delta section (BENCH_delta.json).
 bench-delta:
 	$(GO) run ./cmd/ncbench -scale small -exp delta
+
+# End-to-end dedup memory/throughput comparison (materialized vs streamed
+# pipeline on a synthetic 100k-record corpus, identity-checked) — the
+# numbers behind the EXPERIMENTS.md "Dedup at scale" section
+# (BENCH_dedup.json). Runs at a reduced record count in CI so the gate
+# stays fast; the committed artifact is a full 100k run.
+bench-dedup:
+	$(GO) run ./cmd/ncbench -scale small -exp dedup -dedup-records 20000
 
 # Fail when the README links to a docs/ file that does not exist.
 docs:

@@ -9,6 +9,7 @@
 //	ncdedup -in nc2.tsv -passes 5 -window 20
 //	ncdedup -in nc2.tsv -block snm,trigram -passes 'last_name+zip_code,soundex(last_name)'
 //	ncdedup -in nc2.tsv -workers 8             # parallel blocking + scoring, identical output
+//	ncdedup -in nc2.tsv -stream -workers 8     # fused streaming pipeline, bounded memory
 //	ncdedup -db store/ -store-workers 8        # store-backed evaluation mode
 //
 // -passes takes either an integer k (one SNM pass per the k most unique
@@ -20,6 +21,13 @@
 // the parallel segmented reader, the clusters parse on -store-workers
 // cores, and every record is kept (the full heterogeneity range), so the
 // evaluation covers the store as-is.
+//
+// With -stream the blocking layer never materializes the candidate union:
+// pairs flow to the scoring workers as bounded batches (-batch pairs per
+// batch, -stream-buffer batches in flight), so peak memory is independent
+// of the candidate count. Quality curves are bit-identical to the
+// materialized path; blocking re-runs per measure, the price of never
+// holding the pair set.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/blocking"
 	"repro/internal/core"
@@ -54,8 +63,12 @@ func main() {
 		steps        = flag.Int("steps", 100, "threshold sweep steps")
 		curves       = flag.Bool("curves", false, "print the full F1 curve per measure")
 		workers      = flag.Int("workers", 1, "blocking and scoring workers; >1 runs the parallel engines, with results bit-identical to sequential in both -in and -db store-backed modes")
+		stream       = flag.Bool("stream", false, "fuse blocking into scoring: candidates flow to the workers as bounded batches, never materializing the pair union; curves are bit-identical to the materialized path")
+		batch        = flag.Int("batch", blocking.DefaultStreamBatch, "pairs per streamed batch (-stream)")
+		streamBuffer = flag.Int("stream-buffer", blocking.DefaultStreamBuffer, "batches buffered between blocking and scoring (-stream); with -batch this bounds the pairs in flight, negative = unbuffered lockstep")
 		storeWorkers = flag.Int("store-workers", 0, "document-store load workers for the -db store-backed mode (0 = all cores)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve GET /metrics (JSON and Prometheus) with the blocking_pipeline_total and score_pipeline_total counters on this address during the run (e.g. :9090)")
+		verbose      = flag.Bool("v", false, "print per-stage wall times (blocking, preprocessing, scoring, merge)")
 	)
 	flag.Parse()
 	if (*in == "") == (*db == "") {
@@ -103,7 +116,79 @@ func main() {
 	}
 	cfg.Workers = *workers
 	cfg.Observer = metrics
+
+	// stages accumulates wall time per pipeline stage for -v, mirroring
+	// ncimport. In stream mode the blocking stage runs concurrently with
+	// scoring, so its time overlaps the scoring stage rather than adding to
+	// the total.
+	stages := map[string]time.Duration{}
+	var stageOrder []string
+	addStage := func(name string, d time.Duration) {
+		if _, seen := stages[name]; !seen {
+			stageOrder = append(stageOrder, name)
+		}
+		stages[name] += d
+	}
+	opts := dedup.ScoreOpts{Workers: *workers, Observer: metrics, OnStage: addStage}
+
+	if *stream {
+		evalStreamed(ds, cfg, opts, *steps, *batch, *streamBuffer, *curves, addStage)
+	} else {
+		evalMaterialized(ds, cfg, opts, *steps, *workers, *curves, addStage)
+	}
+	printStageTimings(*verbose, stageOrder, stages)
+}
+
+// evalMaterialized is the classic flow: generate the full candidate union
+// once, then score it per measure.
+func evalMaterialized(ds *dedup.Dataset, cfg blocking.Config, opts dedup.ScoreOpts, steps, workers int, curves bool, addStage func(string, time.Duration)) {
+	start := time.Now()
 	cands, stats := blocking.Generate(ds, cfg)
+	addStage("blocking", time.Since(start))
+	printBlockingStats(cfg, stats, blocking.Recall(ds, cands))
+
+	for _, m := range dedup.Measures {
+		var curve dedup.Curve
+		if workers > 1 {
+			curve = dedup.EvaluateCandidatesParallel(ds, m, cands, steps, opts)
+		} else {
+			start := time.Now()
+			curve = dedup.EvaluateCandidates(ds, m, cands, steps)
+			addStage("scoring", time.Since(start))
+		}
+		printCurve(m, curve, curves)
+	}
+}
+
+// evalStreamed is the fused flow: one GenerateStream per measure feeds the
+// scoring workers directly, so the candidate union never exists in memory.
+// The blocking summary prints after the first measure, when its stats are
+// complete.
+func evalStreamed(ds *dedup.Dataset, cfg blocking.Config, opts dedup.ScoreOpts, steps, batch, buffer int, curves bool, addStage func(string, time.Duration)) {
+	sopts := blocking.StreamOpts{BatchSize: batch, Buffer: buffer}
+	addStage("blocking", 0) // fix the stage order; blocking overlaps scoring here
+	for i, m := range dedup.Measures {
+		scfg := cfg
+		if i > 0 {
+			// Blocking counters were reported with the first stream; the
+			// re-runs for the remaining measures are repeats, not new work.
+			scfg.Observer = nil
+		}
+		s := blocking.GenerateStream(ds, scfg, sopts)
+		mopts := opts
+		mopts.Recycle = s.Recycle
+		curve := dedup.EvaluateCandidatesStream(ds, m, s.C, steps, mopts)
+		addStage("blocking", s.Elapsed())
+		if i == 0 {
+			// Recall at threshold 0 classifies every streamed candidate a
+			// duplicate — exactly the blocking recall.
+			printBlockingStats(scfg, s.Stats(), curve.Points[0].Recall)
+		}
+		printCurve(m, curve, curves)
+	}
+}
+
+func printBlockingStats(cfg blocking.Config, stats blocking.Stats, recall float64) {
 	for _, p := range stats.SNMPasses {
 		fmt.Printf("blocking: snm pass %-28s window %-3d %8d pairs\n", p.Name, p.Window, p.Pairs)
 	}
@@ -112,23 +197,28 @@ func main() {
 			cfg.Trigram.Bands, cfg.Trigram.Rows, stats.TrigramPairs, stats.Buckets, stats.OversizeBuckets)
 	}
 	fmt.Printf("blocking: %d unique candidate pairs (%d emitted), recall %.3f\n",
-		stats.Unique, stats.Emitted, blocking.Recall(ds, cands))
+		stats.Unique, stats.Emitted, recall)
+}
 
-	for _, m := range dedup.Measures {
-		var curve dedup.Curve
-		if *workers > 1 {
-			curve = dedup.EvaluateCandidatesParallel(ds, m, cands, *steps, dedup.ScoreOpts{Workers: *workers, Observer: metrics})
-		} else {
-			curve = dedup.EvaluateCandidates(ds, m, cands, *steps)
+func printCurve(m dedup.Measure, curve dedup.Curve, full bool) {
+	f1, th := curve.BestF1()
+	fmt.Printf("%-12s best F1 %.3f at threshold %.2f\n", m, f1, th)
+	if full {
+		for _, p := range curve.Points {
+			fmt.Printf("  t=%.2f precision %.3f recall %.3f F1 %.3f\n",
+				p.Threshold, p.Precision, p.Recall, p.F1)
 		}
-		f1, th := curve.BestF1()
-		fmt.Printf("%-12s best F1 %.3f at threshold %.2f\n", m, f1, th)
-		if *curves {
-			for _, p := range curve.Points {
-				fmt.Printf("  t=%.2f precision %.3f recall %.3f F1 %.3f\n",
-					p.Threshold, p.Precision, p.Recall, p.F1)
-			}
-		}
+	}
+}
+
+// printStageTimings mirrors ncimport -v.
+func printStageTimings(verbose bool, order []string, stages map[string]time.Duration) {
+	if !verbose {
+		return
+	}
+	fmt.Println("stage timings:")
+	for _, name := range order {
+		fmt.Printf("  %-13s %9.3fs\n", name, stages[name].Seconds())
 	}
 }
 

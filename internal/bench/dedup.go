@@ -1,0 +1,289 @@
+// The end-to-end dedup experiment: blocking fused into scoring. The
+// materialized path (blocking.Generate + dedup.EvaluateCandidatesParallel)
+// holds the full candidate union and a float64 per pair before the sweep;
+// the streamed path (blocking.GenerateStream + dedup.EvaluateCandidatesStream)
+// bounds pairs in flight to a few batches. Both produce the same Curve —
+// checked here, because a memory number from a diverging pipeline would be
+// meaningless — and the experiment reports wall time, pairs/s, and peak
+// heap growth for each, plus the materialized/streamed peak-heap ratio the
+// streaming work exists to maximize.
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/blocking"
+	"repro/internal/dedup"
+)
+
+// DedupPoint is one end-to-end run: one pipeline mode at one worker count.
+type DedupPoint struct {
+	Mode           string  `json:"mode"` // "materialized" or "streamed"
+	Workers        int     `json:"workers"`
+	Pairs          int     `json:"pairs"`
+	Seconds        float64 `json:"seconds"`
+	PairsPerSecond float64 `json:"pairsPerSecond"`
+	// PeakHeapBytes is the sampled peak live-heap growth over the run's
+	// GC'd baseline; TotalAllocBytes is the cumulative allocation delta.
+	PeakHeapBytes   uint64 `json:"peakHeapBytes"`
+	TotalAllocBytes uint64 `json:"totalAllocBytes"`
+	// Identical records the bit-identity check against the materialized
+	// reference curve and blocking stats.
+	Identical bool `json:"identical"`
+}
+
+// DedupResult is the full experiment.
+type DedupResult struct {
+	Dataset    string       `json:"dataset"`
+	Records    int          `json:"records"`
+	Candidates int          `json:"candidates"`
+	Measure    string       `json:"measure"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Points     []DedupPoint `json:"points"`
+	// PeakHeapRatio is materialized/streamed peak heap at the largest
+	// worker count both modes ran — the streaming win in one number.
+	PeakHeapRatio float64 `json:"peakHeapRatio"`
+}
+
+// dedupBenchDataset synthesizes a labeled voter-like corpus of exactly
+// `records` rows: clusters of 1-4 noisy copies over name/city/zip
+// attributes, deterministic in the seed. Kept local so the 100k-record run
+// does not drag the full synth+plausibility pipeline into a memory
+// benchmark. The value pools are deliberately modest (hundreds of distinct
+// last names, not one per record) so the engine's per-distinct-value
+// interning and the bounded memo stay small and the measurement isolates
+// the pair-pipeline memory — the part the streaming work changes.
+func dedupBenchDataset(seed int64, records int) *dedup.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &dedup.Dataset{
+		Name:      fmt.Sprintf("dedupbench-%dk", records/1000),
+		Attrs:     []string{"last_name", "first_name", "city", "zip"},
+		NameAttrs: []int{0, 1},
+	}
+	lasts := []string{"MILLER", "SMITH", "JOHNSON", "GARCIA", "WILLIAMS", "DAVIS", "LOPEZ", "WILSON", "MOORE", "TAYLOR", "ANDERSON", "THOMAS"}
+	firsts := []string{"JAMES", "MARY", "ROBERT", "LINDA", "DAVID", "SUSAN", "PAUL", "KAREN", "MARK", "NANCY"}
+	cities := []string{"RALEIGH", "DURHAM", "CARY", "WILSON", "APEX", "GREENSBORO", "CHARLOTTE"}
+	corrupt := func(s string) string {
+		if len(s) < 2 || rng.Intn(3) > 0 {
+			return s
+		}
+		b := []byte(s)
+		switch rng.Intn(3) {
+		case 0:
+			b[rng.Intn(len(b))] = byte('A' + rng.Intn(26))
+		case 1:
+			i := rng.Intn(len(b) - 1)
+			b[i], b[i+1] = b[i+1], b[i]
+		default:
+			i := rng.Intn(len(b))
+			b = append(b[:i], b[i+1:]...)
+		}
+		return string(b)
+	}
+	for c := 0; len(ds.Records) < records; c++ {
+		base := []string{
+			lasts[rng.Intn(len(lasts))] + fmt.Sprintf("%02d", rng.Intn(100)),
+			firsts[rng.Intn(len(firsts))],
+			cities[rng.Intn(len(cities))],
+			fmt.Sprintf("27%03d", rng.Intn(1000)),
+		}
+		n := 1 + rng.Intn(4)
+		for v := 0; v < n && len(ds.Records) < records; v++ {
+			rec := make([]string, len(base))
+			copy(rec, base)
+			if v > 0 {
+				at := rng.Intn(len(rec))
+				rec[at] = corrupt(rec[at])
+			}
+			ds.Records = append(ds.Records, rec)
+			ds.ClusterOf = append(ds.ClusterOf, c)
+		}
+	}
+	return ds
+}
+
+// heapSampler polls the live heap until stopped and reports the peak.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func startHeapSampler() *heapSampler {
+	h := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		var ms runtime.MemStats
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > h.peak {
+					h.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return h
+}
+
+// Peak stops the sampler, folds in one final reading and returns the
+// maximum observed live heap.
+func (h *heapSampler) Peak() uint64 {
+	close(h.stop)
+	<-h.done
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > h.peak {
+		h.peak = ms.HeapAlloc
+	}
+	return h.peak
+}
+
+// dedupBenchMeasure keeps the scoring kernel cheap so the memory contrast,
+// not the DP inner loop, dominates the experiment.
+const dedupBenchMeasure = dedup.MeasureJaroWinkler
+
+// runDedupOnce executes one end-to-end pipeline run and measures it.
+// Returns the curve and blocking stats for the identity check.
+func runDedupOnce(ds *dedup.Dataset, cfg blocking.Config, workers int, streamed bool) (DedupPoint, dedup.Curve, blocking.Stats) {
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	sampler := startHeapSampler()
+	start := time.Now()
+
+	var curve dedup.Curve
+	var stats blocking.Stats
+	// Both modes share one bounded memo so the cache (a fixed cost the
+	// streaming work does not touch) stays out of the peak-heap contrast.
+	opts := dedup.ScoreOpts{Workers: workers, MemoCap: 1 << 16}
+	if streamed {
+		s := blocking.GenerateStream(ds, cfg, blocking.StreamOpts{})
+		opts.Recycle = s.Recycle
+		curve = dedup.EvaluateCandidatesStream(ds, dedupBenchMeasure, s.C, sweepSteps, opts)
+		stats = s.Stats()
+	} else {
+		candidates, st := blocking.Generate(ds, cfg)
+		stats = st
+		curve = dedup.EvaluateCandidatesParallel(ds, dedupBenchMeasure, candidates, sweepSteps, opts)
+	}
+
+	secs := time.Since(start).Seconds()
+	peak := sampler.Peak()
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+
+	p := DedupPoint{
+		Workers: workers,
+		Pairs:   stats.Unique,
+		Seconds: secs,
+	}
+	if streamed {
+		p.Mode = "streamed"
+	} else {
+		p.Mode = "materialized"
+	}
+	if secs > 0 {
+		p.PairsPerSecond = float64(stats.Unique) / secs
+	}
+	if peak > base.HeapAlloc {
+		p.PeakHeapBytes = peak - base.HeapAlloc
+	}
+	p.TotalAllocBytes = end.TotalAlloc - base.TotalAlloc
+	return p, curve, stats
+}
+
+// DefaultDedupRecords is the corpus size of the committed BENCH_dedup.json
+// run — large enough that the materialized candidate union dominates the
+// heap.
+const DefaultDedupRecords = 100_000
+
+// RunDedupBench benchmarks the fused streaming pipeline against the
+// materialized reference on a `records`-row corpus: same blockers (the
+// paper's five-pass SNM at window 20), same engine, same sweep. Each
+// streamed run's curve and blocking stats must equal the materialized
+// reference exactly — a divergence aborts with an error. jsonPath, when
+// non-empty, receives the result as machine-readable JSON.
+func RunDedupBench(seed int64, records int, workerCounts []int, jsonPath string, out io.Writer) (DedupResult, error) {
+	if records <= 0 {
+		records = DefaultDedupRecords
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{runtime.GOMAXPROCS(0)}
+	}
+	ds := dedupBenchDataset(seed, records)
+	cfg := func(workers int) blocking.Config {
+		return blocking.Config{Passes: blocking.EntropyPasses(ds, snmPasses), Window: snmWindow, Workers: workers}
+	}
+	res := DedupResult{
+		Dataset:    ds.Name,
+		Records:    len(ds.Records),
+		Measure:    string(dedupBenchMeasure),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	fmt.Fprintf(out, "End-to-end dedup: %s, %d records, measure %s (GOMAXPROCS %d)\n",
+		ds.Name, res.Records, res.Measure, res.GOMAXPROCS)
+	fmt.Fprintf(out, "%-13s %8s %10s %9s %12s %11s %12s %10s\n",
+		"mode", "workers", "pairs", "seconds", "pairs/s", "peak heap", "total alloc", "identical")
+
+	var refCurve dedup.Curve
+	var refStats blocking.Stats
+	peaks := map[string]uint64{}
+	for i, workers := range workerCounts {
+		mat, matCurve, matStats := runDedupOnce(ds, cfg(workers), workers, false)
+		if i == 0 {
+			refCurve, refStats = matCurve, matStats
+			res.Candidates = matStats.Unique
+		}
+		mat.Identical = reflect.DeepEqual(matCurve, refCurve) && reflect.DeepEqual(matStats, refStats)
+		res.Points = append(res.Points, mat)
+		printDedupPoint(out, mat)
+		if !mat.Identical {
+			return res, fmt.Errorf("dedup: materialized run at workers=%d diverged from the reference", workers)
+		}
+
+		str, strCurve, strStats := runDedupOnce(ds, cfg(workers), workers, true)
+		str.Identical = reflect.DeepEqual(strCurve, refCurve) && reflect.DeepEqual(strStats, refStats)
+		res.Points = append(res.Points, str)
+		printDedupPoint(out, str)
+		if !str.Identical {
+			return res, fmt.Errorf("dedup: streamed run at workers=%d diverged from the materialized reference", workers)
+		}
+		peaks["materialized"], peaks["streamed"] = mat.PeakHeapBytes, str.PeakHeapBytes
+	}
+	if peaks["streamed"] > 0 {
+		res.PeakHeapRatio = float64(peaks["materialized"]) / float64(peaks["streamed"])
+		fmt.Fprintf(out, "peak heap ratio (materialized/streamed): %.1fx\n", res.PeakHeapRatio)
+	}
+
+	if jsonPath != "" {
+		body, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return res, err
+		}
+		if err := os.WriteFile(jsonPath, append(body, '\n'), 0o644); err != nil {
+			return res, err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return res, nil
+}
+
+func printDedupPoint(out io.Writer, p DedupPoint) {
+	fmt.Fprintf(out, "%-13s %8d %10d %9.3f %12.0f %10.1fM %11.1fM %10v\n",
+		p.Mode, p.Workers, p.Pairs, p.Seconds, p.PairsPerSecond,
+		float64(p.PeakHeapBytes)/(1<<20), float64(p.TotalAllocBytes)/(1<<20), p.Identical)
+}

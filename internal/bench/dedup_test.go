@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunDedupBenchTiny runs the end-to-end experiment at toy scale: both
+// modes must be identical to the reference, the streamed points must carry
+// throughput, and the JSON artifact must land.
+func TestRunDedupBenchTiny(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_dedup.json")
+	res, err := RunDedupBench(1, 3000, []int{2}, jsonPath, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 3000 {
+		t.Errorf("records = %d, want 3000", res.Records)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2 (materialized + streamed)", len(res.Points))
+	}
+	modes := map[string]bool{}
+	for _, p := range res.Points {
+		modes[p.Mode] = true
+		if !p.Identical {
+			t.Errorf("%s at workers=%d not identical", p.Mode, p.Workers)
+		}
+		if p.Pairs == 0 || p.PairsPerSecond <= 0 {
+			t.Errorf("%s: empty run (%d pairs, %.0f pairs/s)", p.Mode, p.Pairs, p.PairsPerSecond)
+		}
+		if p.Pairs != res.Candidates {
+			t.Errorf("%s scored %d pairs, want %d", p.Mode, p.Pairs, res.Candidates)
+		}
+	}
+	if !modes["materialized"] || !modes["streamed"] {
+		t.Errorf("missing a mode: %v", modes)
+	}
+	body, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"mode": "streamed"`, `"peakHeapRatio"`, `"pairsPerSecond"`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+}
+
+// TestDedupBenchDatasetShape: the generator hits the record target exactly
+// and stays deterministic in the seed.
+func TestDedupBenchDatasetShape(t *testing.T) {
+	a := dedupBenchDataset(7, 500)
+	if len(a.Records) != 500 || len(a.ClusterOf) != 500 {
+		t.Fatalf("generated %d records / %d labels, want 500", len(a.Records), len(a.ClusterOf))
+	}
+	b := dedupBenchDataset(7, 500)
+	for i := range a.Records {
+		for c := range a.Records[i] {
+			if a.Records[i][c] != b.Records[i][c] {
+				t.Fatalf("record %d differs across same-seed runs", i)
+			}
+		}
+	}
+	if a.NumTruePairs() == 0 {
+		t.Error("no injected duplicates")
+	}
+}

@@ -15,13 +15,13 @@
 package blocking
 
 import (
-	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
+	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/dedup"
-	"repro/internal/simil"
 )
 
 func (tc TrigramConfig) bands() int {
@@ -89,15 +89,134 @@ func bandEntryLess(a, b bandEntry) bool {
 	return a.rec < b.rec
 }
 
-// signatureText concatenates the record's signature attributes,
-// lower-cased and trimmed, with a separator that cannot occur in TSV data
-// so attribute boundaries stay visible to the trigram set.
-func signatureText(rec []string, attrs []int) string {
-	parts := make([]string, len(attrs))
-	for i, a := range attrs {
-		parts[i] = strings.ToLower(strings.TrimSpace(rec[a]))
+// sigSep separates attribute values inside the signature text — a byte
+// that cannot occur in TSV data, so attribute boundaries stay visible to
+// the trigram set.
+const sigSep = 0x1f
+
+// FNV-1a parameters, inlined so gram hashing needs no hash.Hash allocation
+// (bit-identical to hash/fnv's New64a over the same bytes).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// trigramScratch is one worker's reusable signature state: the lowered
+// signature text, its rune-start offsets, and the minhash/band-key buffers.
+// Reusing it across records keeps the per-record signature computation at
+// zero heap allocations steady-state (BenchmarkTrigramSignature).
+type trigramScratch struct {
+	text   []byte  // lowered signature text of the current record
+	starts []int32 // byte offset of each rune start in text
+	sig    []uint64
+	keys   []uint64
+}
+
+// appendLower appends the lower-cased runes of s to the scratch text,
+// recording rune starts. The byte output is identical to
+// strings.ToLower(s): ASCII lowers in place, everything else maps through
+// unicode.ToLower, and invalid UTF-8 bytes become U+FFFD — exactly the
+// replacement strings.Map performs.
+func (sc *trigramScratch) appendLower(s string) {
+	for _, r := range s {
+		sc.starts = append(sc.starts, int32(len(sc.text)))
+		if r < utf8.RuneSelf {
+			b := byte(r)
+			if 'A' <= b && b <= 'Z' {
+				b += 'a' - 'A'
+			}
+			sc.text = append(sc.text, b)
+		} else {
+			sc.text = utf8.AppendRune(sc.text, unicode.ToLower(r))
+		}
 	}
-	return strings.Join(parts, "\x1f")
+}
+
+// grow returns buf resized to n, reusing its backing array when possible.
+func grow(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	return buf[:n]
+}
+
+// bandKeysInto computes one record's band bucket keys into the scratch:
+// minhash signature over the trigram set of the lowered signature text,
+// then one FNV-1a fold per band of that band's rows. A record whose
+// signature text yields no trigrams returns nil — blocking it would collide
+// every empty record with every other. The returned slice aliases the
+// scratch and is only valid until the next call.
+func bandKeysInto(rec []string, attrs []int, bands, rows int, mul, add []uint64, sc *trigramScratch) []uint64 {
+	sc.text = sc.text[:0]
+	sc.starts = sc.starts[:0]
+	for i, a := range attrs {
+		if i > 0 {
+			sc.starts = append(sc.starts, int32(len(sc.text)))
+			sc.text = append(sc.text, sigSep)
+		}
+		sc.appendLower(strings.TrimSpace(rec[a]))
+	}
+	runes := len(sc.starts)
+	if runes == 0 {
+		return nil
+	}
+	nonSep := false
+	for _, b := range sc.text {
+		if b != sigSep {
+			nonSep = true
+			break
+		}
+	}
+	if !nonSep {
+		return nil
+	}
+
+	k := bands * rows
+	sc.sig = grow(sc.sig, k)
+	for i := range sc.sig {
+		sc.sig[i] = ^uint64(0)
+	}
+	// Each trigram is three consecutive runes of the text (a text of at
+	// most three runes is its own single gram — simil.QGrams semantics);
+	// hash its bytes with FNV-1a and fold into the running minhashes.
+	gram := func(lo, hi int32) {
+		gh := uint64(fnvOffset64)
+		for _, c := range sc.text[lo:hi] {
+			gh ^= uint64(c)
+			gh *= fnvPrime64
+		}
+		for i := 0; i < k; i++ {
+			v := gh*mul[i] + add[i]
+			if v < sc.sig[i] {
+				sc.sig[i] = v
+			}
+		}
+	}
+	if runes <= 3 {
+		gram(0, int32(len(sc.text)))
+	} else {
+		for i := 0; i+3 <= runes; i++ {
+			hi := int32(len(sc.text))
+			if i+3 < runes {
+				hi = sc.starts[i+3]
+			}
+			gram(sc.starts[i], hi)
+		}
+	}
+
+	sc.keys = grow(sc.keys, bands)
+	for b := 0; b < bands; b++ {
+		acc := uint64(1469598103934665603) // FNV-64 offset basis
+		for r := 0; r < rows; r++ {
+			v := sc.sig[b*rows+r]
+			for s := 0; s < 64; s += 8 {
+				acc ^= (v >> s) & 0xff
+				acc *= 1099511628211
+			}
+		}
+		sc.keys[b] = acc
+	}
+	return sc.keys
 }
 
 // minhashParams derives the k pairwise-independent hash multipliers and
@@ -121,47 +240,6 @@ func minhashParams(k int, seed uint64) (mul, add []uint64) {
 	return mul, add
 }
 
-// bandKeys computes one record's band bucket keys: minhash signature over
-// its trigram set, then one FNV-1a fold per band of that band's rows. A
-// record whose signature text yields no trigrams returns nil — blocking it
-// would collide every empty record with every other.
-func bandKeys(rec []string, attrs []int, bands, rows int, mul, add []uint64) []uint64 {
-	text := signatureText(rec, attrs)
-	grams := simil.QGrams(text, 3)
-	if len(grams) == 0 || strings.Trim(text, "\x1f") == "" {
-		return nil
-	}
-	k := bands * rows
-	sig := make([]uint64, k)
-	for i := range sig {
-		sig[i] = ^uint64(0)
-	}
-	for _, g := range grams {
-		h := fnv.New64a()
-		h.Write([]byte(g))
-		gh := h.Sum64()
-		for i := 0; i < k; i++ {
-			v := gh*mul[i] + add[i]
-			if v < sig[i] {
-				sig[i] = v
-			}
-		}
-	}
-	keys := make([]uint64, bands)
-	for b := 0; b < bands; b++ {
-		acc := uint64(1469598103934665603) // FNV-64 offset basis
-		for r := 0; r < rows; r++ {
-			v := sig[b*rows+r]
-			for s := 0; s < 64; s += 8 {
-				acc ^= (v >> s) & 0xff
-				acc *= 1099511628211
-			}
-		}
-		keys[b] = acc
-	}
-	return keys
-}
-
 // trigramSeq is the sequential reference blocker: per-record band keys,
 // map-grouped buckets scanned in sorted key order, pairs emitted per
 // bucket in ascending member order.
@@ -174,8 +252,9 @@ func trigramSeq(ds *dedup.Dataset, tc TrigramConfig) ([]dedup.Pair, bucketStats)
 		hash uint64
 	}
 	buckets := map[bucketKey][]int32{}
+	sc := &trigramScratch{}
 	for i, rec := range ds.Records {
-		for b, h := range bandKeys(rec, attrs, bands, rows, mul, add) {
+		for b, h := range bandKeysInto(rec, attrs, bands, rows, mul, add, sc) {
 			k := bucketKey{int32(b), h}
 			buckets[k] = append(buckets[k], int32(i))
 		}
@@ -211,12 +290,33 @@ func trigramSeq(ds *dedup.Dataset, tc TrigramConfig) ([]dedup.Pair, bucketStats)
 	return out, st
 }
 
-// trigramParallel is the sharded blocker: band entries are computed into
-// an index-addressed slice (one fixed stride per record), compacted in
-// index order, chunk-sorted and k-way merged under the (band, hash, rec)
-// total order, and bucket runs are scanned on the calling goroutine with
-// pair emission sharded per run range.
+// trigramParallel is the sharded blocker: the per-worker parts of
+// trigramParts concatenated in part order.
 func trigramParallel(ds *dedup.Dataset, tc TrigramConfig, workers int) ([]dedup.Pair, bucketStats) {
+	parts, st := trigramParts(ds, tc, workers)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil, st
+	}
+	out := make([]dedup.Pair, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, st
+}
+
+// trigramParts is the sharded banding blocker up to pair emission: band
+// entries are computed into an index-addressed slice (one fixed stride per
+// record), compacted in index order, chunk-sorted and k-way merged under
+// the (band, hash, rec) total order, and bucket runs are scanned on the
+// calling goroutine with pair emission sharded per run range. The result
+// is the per-worker emission parts, whose concatenation in part order is
+// the blocker's pair stream; GenerateStream sorts each part instead of
+// concatenating, so the streamed path never builds the combined slice.
+func trigramParts(ds *dedup.Dataset, tc TrigramConfig, workers int) ([][]dedup.Pair, bucketStats) {
 	n := len(ds.Records)
 	if n == 0 {
 		return nil, bucketStats{}
@@ -226,11 +326,14 @@ func trigramParallel(ds *dedup.Dataset, tc TrigramConfig, workers int) ([]dedup.
 	mul, add := minhashParams(bands*rows, tc.Seed)
 
 	// Stage 1: per-record band keys, index-addressed (records with no
-	// trigrams leave their stride marked invalid with rec == -1).
+	// trigrams leave their stride marked invalid with rec == -1). Each
+	// worker range reuses one trigramScratch, so the per-record signature
+	// computation allocates nothing steady-state.
 	entries := make([]bandEntry, n*bands)
 	parallelRanges(n, workers, func(lo, hi int) {
+		sc := &trigramScratch{}
 		for i := lo; i < hi; i++ {
-			keys := bandKeys(ds.Records[i], attrs, bands, rows, mul, add)
+			keys := bandKeysInto(ds.Records[i], attrs, bands, rows, mul, add, sc)
 			for b := 0; b < bands; b++ {
 				e := &entries[i*bands+b]
 				if keys == nil {
@@ -307,16 +410,7 @@ func trigramParallel(ds *dedup.Dataset, tc TrigramConfig, workers int) ([]dedup.
 		}(w, lo, hi)
 	}
 	wg.Wait()
-
-	total := 0
-	for _, p := range parts {
-		total += len(p)
-	}
-	out := make([]dedup.Pair, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out, st
+	return parts, st
 }
 
 // sortBandEntries sorts entries in place under the (band, hash, rec) total

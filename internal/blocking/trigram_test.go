@@ -1,11 +1,14 @@
 package blocking
 
 import (
+	"hash/fnv"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/dedup"
+	"repro/internal/simil"
 )
 
 // TestTrigramParallelMatchesSequential pins the banding blocker alone to
@@ -109,5 +112,122 @@ func TestTrigramSeedVariesBuckets(t *testing.T) {
 	b, _ := Generate(ds, Config{Trigram: &TrigramConfig{Seed: 1}, Workers: 4})
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("same seed, different worker count: pair sets diverge")
+	}
+}
+
+// bandKeysRef is the allocating reference signature: strings.ToLower +
+// simil.QGrams + hash/fnv, the implementation bandKeysInto replaced. The
+// scratch path must reproduce it bit for bit.
+func bandKeysRef(rec []string, attrs []int, bands, rows int, mul, add []uint64) []uint64 {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = strings.ToLower(strings.TrimSpace(rec[a]))
+	}
+	text := strings.Join(parts, "\x1f")
+	grams := simil.QGrams(text, 3)
+	if len(grams) == 0 || strings.Trim(text, "\x1f") == "" {
+		return nil
+	}
+	k := bands * rows
+	sig := make([]uint64, k)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for _, g := range grams {
+		h := fnv.New64a()
+		h.Write([]byte(g))
+		gh := h.Sum64()
+		for i := 0; i < k; i++ {
+			if v := gh*mul[i] + add[i]; v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	keys := make([]uint64, bands)
+	for b := 0; b < bands; b++ {
+		acc := uint64(1469598103934665603)
+		for r := 0; r < rows; r++ {
+			v := sig[b*rows+r]
+			for s := 0; s < 64; s += 8 {
+				acc ^= (v >> s) & 0xff
+				acc *= 1099511628211
+			}
+		}
+		keys[b] = acc
+	}
+	return keys
+}
+
+// TestBandKeysMatchReference pins the zero-alloc signature path to the
+// allocating reference over the shapes that stress its byte handling:
+// unicode lowering, invalid UTF-8 (U+FFFD replacement), whitespace
+// trimming, separator-only and sub-trigram-length texts.
+func TestBandKeysMatchReference(t *testing.T) {
+	records := [][]string{
+		{"MILLER", "JAMES"},
+		{"  miller  ", "james"},
+		{"GARCÍA", "JOSÉ"},                   // non-ASCII lowering
+		{"ŐRSÉG", "ÅSA"},                     // multi-byte upper -> lower
+		{"\xff\xfebad", "utf8"},              // invalid UTF-8 -> U+FFFD
+		{"", ""},                             // empty -> nil keys
+		{"  ", "\t"},                         // whitespace-only -> nil keys
+		{"ab", ""},                           // fewer runes than a trigram
+		{"a", "b"},                           // separator inside the only gram
+		{"İstanbul", "ışık"},                 // dotted/dotless i
+		{"ẞHARP", "ß"},                       // U+1E9E lowers to ß
+		{"same\x1fvalue", "embedded\x1fsep"}, // sep bytes inside the data
+	}
+	attrs := []int{0, 1}
+	for _, shape := range []struct{ bands, rows int }{{8, 4}, {6, 3}, {1, 1}} {
+		mul, add := minhashParams(shape.bands*shape.rows, 7)
+		sc := &trigramScratch{}
+		for _, rec := range records {
+			want := bandKeysRef(rec, attrs, shape.bands, shape.rows, mul, add)
+			got := bandKeysInto(rec, attrs, shape.bands, shape.rows, mul, add, sc)
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(want, append([]uint64(nil), got...)) {
+				t.Errorf("%dx%d %q: scratch keys %v != reference %v", shape.bands, shape.rows, rec, got, want)
+			}
+		}
+	}
+}
+
+// TestTrigramSignatureZeroAlloc: after warm-up, computing a record's band
+// keys into a reused scratch performs no heap allocations.
+func TestTrigramSignatureZeroAlloc(t *testing.T) {
+	ds := testDataset(43, 40)
+	attrs := []int{0, 1}
+	mul, add := minhashParams(DefaultBands*DefaultRows, 0)
+	sc := &trigramScratch{}
+	for _, rec := range ds.Records { // warm-up: grow the scratch buffers
+		bandKeysInto(rec, attrs, DefaultBands, DefaultRows, mul, add, sc)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		bandKeysInto(ds.Records[i%len(ds.Records)], attrs, DefaultBands, DefaultRows, mul, add, sc)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("bandKeysInto allocates %.1f/record steady-state, want 0", allocs)
+	}
+}
+
+// BenchmarkTrigramSignature measures the steady-state per-record signature
+// cost; run with -benchmem to see the 0 allocs/record the satellite task
+// demands.
+func BenchmarkTrigramSignature(b *testing.B) {
+	ds := testDataset(47, 200)
+	attrs := []int{0, 1}
+	mul, add := minhashParams(DefaultBands*DefaultRows, 0)
+	sc := &trigramScratch{}
+	for _, rec := range ds.Records {
+		bandKeysInto(rec, attrs, DefaultBands, DefaultRows, mul, add, sc)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bandKeysInto(ds.Records[i%len(ds.Records)], attrs, DefaultBands, DefaultRows, mul, add, sc)
 	}
 }

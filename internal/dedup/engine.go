@@ -32,6 +32,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/simil"
 )
@@ -54,6 +55,21 @@ type ScoreOpts struct {
 	MemoCap int
 	// Observer, when set, receives the score_* counters after the run.
 	Observer ScoreObserver
+	// OnStage, when set, receives each pipeline stage's wall time as the
+	// stage completes (preprocessing, scoring, merge) — the hook behind
+	// `ncdedup -v`.
+	OnStage func(stage string, elapsed time.Duration)
+	// Recycle, when set, receives each fully scored batch of the streaming
+	// path (EvaluateCandidatesStream) so the producer can reuse its backing
+	// array. Ignored by the materialized paths.
+	Recycle func(batch []Pair)
+}
+
+// stage reports one completed stage to the OnStage hook.
+func (o ScoreOpts) stage(name string, start time.Time) {
+	if o.OnStage != nil {
+		o.OnStage(name, time.Since(start))
+	}
 }
 
 // workersOrDefault resolves the Workers option.

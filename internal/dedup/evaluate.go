@@ -1,6 +1,9 @@
 package dedup
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
 
 // Point is one threshold of an evaluation curve.
 type Point struct {
@@ -60,9 +63,16 @@ func EvaluateCandidates(ds *Dataset, m Measure, candidates []Pair, steps int) Cu
 // slice and every kernel is bit-compatible with its allocating
 // counterpart.
 func EvaluateCandidatesParallel(ds *Dataset, m Measure, candidates []Pair, steps int, opts ScoreOpts) Curve {
+	start := time.Now()
 	eng := newEngine(ds, m, opts)
+	opts.stage("preprocessing", start)
+	start = time.Now()
 	sims := eng.scoreAll(candidates, opts.workersOrDefault())
-	return sweepCurve(ds, m, candidates, sims, steps)
+	opts.stage("scoring", start)
+	start = time.Now()
+	curve := sweepCurve(ds, m, candidates, sims, steps)
+	opts.stage("merge", start)
+	return curve
 }
 
 // sweepCurve turns per-candidate similarities into the threshold-sweep

@@ -1,0 +1,272 @@
+package dedup
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// feedBatches sends candidates through a channel in batches of size bs.
+func feedBatches(candidates []Pair, bs, buffer int) <-chan []Pair {
+	ch := make(chan []Pair, buffer)
+	go func() {
+		for lo := 0; lo < len(candidates); lo += bs {
+			hi := lo + bs
+			if hi > len(candidates) {
+				hi = len(candidates)
+			}
+			ch <- append([]Pair(nil), candidates[lo:hi]...)
+		}
+		close(ch)
+	}()
+	return ch
+}
+
+// TestStreamCurveEquivalence is the streaming consumer's bit-identity
+// contract: for every measure and worker count, the curve computed from
+// batched candidates equals the sequential reference exactly.
+// `make stream-race` runs it under the race detector.
+func TestStreamCurveEquivalence(t *testing.T) {
+	ds := toyDataset(t, 40, []int{1, 2, 3}, 0.4)
+	candidates := SortedNeighborhood(ds, MostUniqueAttrs(ds, 3), 20)
+	if len(candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, m := range AllMeasures {
+		want := EvaluateCandidates(ds, m, candidates, 50)
+		for _, workers := range equivWorkerCounts() {
+			got := EvaluateCandidatesStream(ds, m, feedBatches(candidates, 37, 2), 50,
+				ScoreOpts{Workers: workers})
+			requireCurvesIdentical(t, string(m)+"/stream/workers="+itoa(workers), want, got)
+		}
+	}
+}
+
+// TestStreamBatchShapeIrrelevant: the curve cannot depend on how the pair
+// stream is chopped into batches.
+func TestStreamBatchShapeIrrelevant(t *testing.T) {
+	ds := toyDataset(t, 25, []int{2, 3}, 0.5)
+	candidates := SortedNeighborhood(ds, MostUniqueAttrs(ds, 2), 10)
+	want := EvaluateCandidates(ds, MeasureJaroWinkler, candidates, 25)
+	for _, bs := range []int{1, 7, len(candidates), len(candidates) * 2} {
+		got := EvaluateCandidatesStream(ds, MeasureJaroWinkler, feedBatches(candidates, bs, 0), 25,
+			ScoreOpts{Workers: 3})
+		requireCurvesIdentical(t, "batch="+itoa(bs), want, got)
+	}
+}
+
+// TestStreamEmpty: a channel closed without batches yields the same curve
+// as an empty candidate slice (precision 1 everywhere).
+func TestStreamEmpty(t *testing.T) {
+	ds := toyDataset(t, 5, []int{1}, 0)
+	want := EvaluateCandidates(ds, MeasureMELev, nil, 10)
+	got := EvaluateCandidatesStream(ds, MeasureMELev, feedBatches(nil, 8, 0), 10,
+		ScoreOpts{Workers: 2})
+	requireCurvesIdentical(t, "empty stream", want, got)
+}
+
+// TestStreamRecycleAndStages: the Recycle hook sees every batch exactly
+// once, and OnStage reports the three pipeline stages in order.
+func TestStreamRecycleAndStages(t *testing.T) {
+	ds := toyDataset(t, 20, []int{2}, 0.3)
+	candidates := SortedNeighborhood(ds, MostUniqueAttrs(ds, 2), 10)
+
+	var mu sync.Mutex
+	recycled := 0
+	var stages []string
+	got := EvaluateCandidatesStream(ds, MeasureTrigramJaccard, feedBatches(candidates, 16, 1), 20,
+		ScoreOpts{
+			Workers: 4,
+			Recycle: func(batch []Pair) {
+				mu.Lock()
+				recycled += len(batch)
+				mu.Unlock()
+			},
+			OnStage: func(stage string, d time.Duration) {
+				if d < 0 {
+					t.Errorf("stage %s: negative duration %v", stage, d)
+				}
+				stages = append(stages, stage)
+			},
+		})
+	if recycled != len(candidates) {
+		t.Errorf("recycled %d pairs, want %d", recycled, len(candidates))
+	}
+	wantStages := []string{"preprocessing", "scoring", "merge"}
+	if len(stages) != len(wantStages) {
+		t.Fatalf("stages %v, want %v", stages, wantStages)
+	}
+	for i := range wantStages {
+		if stages[i] != wantStages[i] {
+			t.Fatalf("stages %v, want %v", stages, wantStages)
+		}
+	}
+	want := EvaluateCandidates(ds, MeasureTrigramJaccard, candidates, 20)
+	requireCurvesIdentical(t, "recycle run", want, got)
+}
+
+// TestStreamObserverCounters: the streaming path reports the score_*
+// family plus the dedup_stream_* extension.
+func TestStreamObserverCounters(t *testing.T) {
+	ds := toyDataset(t, 30, []int{2, 3}, 0.2)
+	candidates := SortedNeighborhood(ds, MostUniqueAttrs(ds, 3), 20)
+	obs := &countingObserver{}
+	EvaluateCandidatesStream(ds, MeasureTrigramJaccard, feedBatches(candidates, 64, 2), 20,
+		ScoreOpts{Workers: 2, Observer: obs})
+	if got := obs.n["score_pairs_scored"]; got != int64(len(candidates)) {
+		t.Errorf("score_pairs_scored = %d, want %d", got, len(candidates))
+	}
+	if got := obs.n["dedup_stream_pairs"]; got != int64(len(candidates)) {
+		t.Errorf("dedup_stream_pairs = %d, want %d", got, len(candidates))
+	}
+	wantBatches := int64((len(candidates) + 63) / 64)
+	if got := obs.n["dedup_stream_batches"]; got != wantBatches {
+		t.Errorf("dedup_stream_batches = %d, want %d", got, wantBatches)
+	}
+	if obs.n["score_memo_hits"]+obs.n["score_memo_misses"] == 0 {
+		t.Error("no memo traffic recorded on the streaming path")
+	}
+}
+
+// TestThresholdBucketMatchesSweepSearch: the bucket boundary must evaluate
+// the exact float comparison sweepCurve's sort.Search performs, including
+// similarities that land exactly on a grid threshold.
+func TestThresholdBucketMatchesSweepSearch(t *testing.T) {
+	const steps = 100
+	sims := []float64{0, 1, 0.5, 0.25, 1.0 / 3.0, 0.009999999999999999, 0.01, 0.99, 0.7000000000000001}
+	for s := 0; s <= steps; s++ {
+		sims = append(sims, float64(s)/float64(steps))
+	}
+	for _, sim := range sims {
+		b := thresholdBucket(sim, steps)
+		// Reference: count thresholds t_s with sim >= t_s, the per-pair
+		// contribution sweepCurve's n(t) counts.
+		want := 0
+		for s := 0; s <= steps; s++ {
+			if !(float64(s)/float64(steps) > sim) {
+				want++
+			}
+		}
+		if b != want {
+			t.Errorf("sim=%v: bucket %d, want %d", sim, b, want)
+		}
+	}
+}
+
+// TestMemoBoundedCapUnderStreaming is the bounded-eviction regression: a
+// memo cache far smaller than the distinct value-pair set must fill every
+// shard to at most its capacity, count the overflow as skips, and leave
+// the streamed curve untouched.
+func TestMemoBoundedCapUnderStreaming(t *testing.T) {
+	ds := toyDataset(t, 60, []int{2, 3}, 0.6)
+	candidates := SortedNeighborhood(ds, MostUniqueAttrs(ds, 3), 20)
+	want := EvaluateCandidates(ds, MeasureMELev, candidates, 25)
+
+	const memoCap = memoShardCount * 2 // two entries per shard
+	obs := &countingObserver{}
+	got := EvaluateCandidatesStream(ds, MeasureMELev, feedBatches(candidates, 32, 2), 25,
+		ScoreOpts{Workers: 4, MemoCap: memoCap, Observer: obs})
+	requireCurvesIdentical(t, "tiny memo stream", want, got)
+
+	if obs.n["score_memo_skips"] == 0 {
+		t.Error("no skips recorded with a cache smaller than the value-pair set")
+	}
+	if obs.n["score_memo_misses"] == 0 {
+		t.Error("no misses recorded")
+	}
+	// Every computed similarity was either stored (bounded by the cap) or
+	// skipped; hits can only come from stored entries.
+	if obs.n["score_memo_skips"] > obs.n["score_memo_misses"] {
+		t.Errorf("skips %d > misses %d", obs.n["score_memo_skips"], obs.n["score_memo_misses"])
+	}
+}
+
+// TestMemoShardNeverExceedsCap drives one cache past capacity directly and
+// asserts the per-shard bound and the put contract.
+func TestMemoShardNeverExceedsCap(t *testing.T) {
+	const totalCap = memoShardCount * 3
+	c := newMemoCache(totalCap)
+	stored, skipped := 0, 0
+	for a := int32(0); a < 64; a++ {
+		for b := int32(0); b < 64; b++ {
+			if c.put(0, a, b, float64(a)+float64(b)/100) {
+				stored++
+			} else {
+				skipped++
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("64x64 inserts never overflowed a 3-entry-per-shard cache")
+	}
+	for i := range c.shards {
+		if n := len(c.shards[i].m); n > c.capPerShard {
+			t.Errorf("shard %d holds %d entries, cap %d", i, n, c.capPerShard)
+		}
+	}
+	// Stored entries must read back exactly; get must miss for skipped keys.
+	hits := 0
+	for a := int32(0); a < 64; a++ {
+		for b := int32(0); b < 64; b++ {
+			if v, ok := c.get(0, a, b); ok {
+				hits++
+				if want := float64(a) + float64(b)/100; v != want {
+					t.Fatalf("get(0,%d,%d) = %v, want %v", a, b, v, want)
+				}
+			}
+		}
+	}
+	if hits != stored {
+		t.Errorf("%d readable entries, %d stored", hits, stored)
+	}
+
+	// Disabled cache: nothing stores, nothing hits.
+	off := newMemoCache(-1)
+	if off.put(0, 1, 2, 0.5) {
+		t.Error("disabled cache stored an entry")
+	}
+	if _, ok := off.get(0, 1, 2); ok {
+		t.Error("disabled cache returned a hit")
+	}
+}
+
+// TestCurveFromCountsMatchesSweep cross-checks the suffix-sum builder
+// against sweepCurve on synthetic similarity multisets, independent of any
+// matcher.
+func TestCurveFromCountsMatchesSweep(t *testing.T) {
+	ds := toyDataset(t, 10, []int{2}, 0.2)
+	candidates := SortedNeighborhood(ds, MostUniqueAttrs(ds, 2), 8)
+	sims := make([]float64, len(candidates))
+	for k := range sims {
+		// A spread of exact-grid and off-grid values.
+		switch k % 4 {
+		case 0:
+			sims[k] = float64(k%21) / 20
+		case 1:
+			sims[k] = 1.0 / float64(k+2)
+		case 2:
+			sims[k] = 0
+		default:
+			sims[k] = 1
+		}
+	}
+	const steps = 20
+	want := sweepCurve(ds, MeasureMELev, candidates, sims, steps)
+	counts := make([]int64, steps+2)
+	dups := make([]int64, steps+2)
+	for k, p := range candidates {
+		b := thresholdBucket(sims[k], steps)
+		counts[b]++
+		if ds.IsDuplicate(p.I, p.J) {
+			dups[b]++
+		}
+	}
+	got := curveFromCounts(ds, MeasureMELev, counts, dups, steps)
+	requireCurvesIdentical(t, "curveFromCounts", want, got)
+	if !sort.SliceIsSorted(got.Points, func(a, b int) bool {
+		return got.Points[a].Threshold < got.Points[b].Threshold
+	}) {
+		t.Error("points not in ascending threshold order")
+	}
+}

@@ -194,10 +194,13 @@ func (m *Metrics) PrometheusText() string {
 	// Counters split into families by prefix: the ingest pipeline's
 	// ingest_* counters, the delta-apply layer's delta_* counters, the
 	// scoring engine's score_* counters, the
-	// blocking layer's blocking_* counters, the document store's
-	// docstore_* counters, the serving snapshots' serving_* counters, and
-	// the middleware's events.
-	var eventNames, ingestNames, deltaNames, scoreNames, blockingNames, docstoreNames, servingNames []string
+	// blocking layer's blocking_* counters (with the streamed emission's
+	// blocking_stream_* counters split out — checked first, since they share
+	// the blocking_ prefix), the streaming scoring consumer's
+	// dedup_stream_* counters, the document store's docstore_* counters,
+	// the serving snapshots' serving_* counters, and the middleware's
+	// events.
+	var eventNames, ingestNames, deltaNames, scoreNames, blockingNames, blockingStreamNames, dedupStreamNames, docstoreNames, servingNames []string
 	for name := range snap.Counters {
 		switch {
 		case strings.HasPrefix(name, "ingest_"):
@@ -206,8 +209,12 @@ func (m *Metrics) PrometheusText() string {
 			deltaNames = append(deltaNames, name)
 		case strings.HasPrefix(name, "score_"):
 			scoreNames = append(scoreNames, name)
+		case strings.HasPrefix(name, "blocking_stream_"):
+			blockingStreamNames = append(blockingStreamNames, name)
 		case strings.HasPrefix(name, "blocking_"):
 			blockingNames = append(blockingNames, name)
+		case strings.HasPrefix(name, "dedup_stream_"):
+			dedupStreamNames = append(dedupStreamNames, name)
 		case strings.HasPrefix(name, "docstore_"):
 			docstoreNames = append(docstoreNames, name)
 		case strings.HasPrefix(name, "serving_"):
@@ -221,6 +228,8 @@ func (m *Metrics) PrometheusText() string {
 	sort.Strings(deltaNames)
 	sort.Strings(scoreNames)
 	sort.Strings(blockingNames)
+	sort.Strings(blockingStreamNames)
+	sort.Strings(dedupStreamNames)
 	sort.Strings(docstoreNames)
 	sort.Strings(servingNames)
 	fmt.Fprintf(&b, "# HELP http_server_events_total Middleware events (panics, timeouts, shed).\n")
@@ -255,6 +264,22 @@ func (m *Metrics) PrometheusText() string {
 		fmt.Fprintf(&b, "# TYPE blocking_pipeline_total counter\n")
 		for _, name := range blockingNames {
 			fmt.Fprintf(&b, "blocking_pipeline_total{counter=%q} %d\n", strings.TrimPrefix(name, "blocking_"), snap.Counters[name])
+		}
+	}
+
+	if len(blockingStreamNames) > 0 {
+		fmt.Fprintf(&b, "# HELP blocking_stream_total Streamed candidate-emission counters (batches emitted, pairs streamed, peak batch backlog).\n")
+		fmt.Fprintf(&b, "# TYPE blocking_stream_total counter\n")
+		for _, name := range blockingStreamNames {
+			fmt.Fprintf(&b, "blocking_stream_total{counter=%q} %d\n", strings.TrimPrefix(name, "blocking_stream_"), snap.Counters[name])
+		}
+	}
+
+	if len(dedupStreamNames) > 0 {
+		fmt.Fprintf(&b, "# HELP dedup_stream_total Streaming scoring-consumer counters (batches consumed, pairs scored from the stream).\n")
+		fmt.Fprintf(&b, "# TYPE dedup_stream_total counter\n")
+		for _, name := range dedupStreamNames {
+			fmt.Fprintf(&b, "dedup_stream_total{counter=%q} %d\n", strings.TrimPrefix(name, "dedup_stream_"), snap.Counters[name])
 		}
 	}
 

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStreamPrometheusFamilies: the streaming pipeline's counters route
+// into their own blocking_stream_total / dedup_stream_total families —
+// and, sharing the blocking_ prefix, blocking_stream_* must not fall into
+// the materialized blocking_pipeline_total family.
+func TestStreamPrometheusFamilies(t *testing.T) {
+	m := NewMetrics()
+	m.AddN("blocking_stream_batches", 42)
+	m.AddN("blocking_stream_pairs", 170000)
+	m.AddN("blocking_stream_peak_backlog", 3)
+	m.AddN("dedup_stream_batches", 42)
+	m.AddN("dedup_stream_pairs", 170000)
+	m.AddN("blocking_pairs_unique", 170000)
+	m.AddN("score_pairs_scored", 170000)
+
+	text := m.PrometheusText()
+	for _, want := range []string{
+		`blocking_stream_total{counter="batches"} 42`,
+		`blocking_stream_total{counter="pairs"} 170000`,
+		`blocking_stream_total{counter="peak_backlog"} 3`,
+		`dedup_stream_total{counter="batches"} 42`,
+		`dedup_stream_total{counter="pairs"} 170000`,
+		`blocking_pipeline_total{counter="pairs_unique"} 170000`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus text missing %q:\n%s", want, text)
+		}
+	}
+	// The longer prefix must win: stream counters never render as
+	// blocking_pipeline_total{counter="stream_..."}.
+	if strings.Contains(text, `blocking_pipeline_total{counter="stream_`) {
+		t.Error("blocking_stream counters leaked into blocking_pipeline_total")
+	}
+	if strings.Contains(text, `http_server_events_total{event="dedup_stream_`) {
+		t.Error("dedup_stream counters leaked into http_server_events_total")
+	}
+}

@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race test-short serve-race serving-race ingest-race score-race blocking-race docstore-race delta-race stream-race conformance fuzz-smoke cover bench-matching bench-blocking bench-docstore bench-serving bench-delta bench-dedup docs
+.PHONY: ci fmt vet build test race test-short serve-race serving-race ingest-race score-race blocking-race docstore-race delta-race stream-race provenance-race conformance fuzz-smoke cover bench-matching bench-blocking bench-docstore bench-serving bench-delta bench-dedup docs
 
-ci: fmt vet build race docs conformance fuzz-smoke cover score-race blocking-race docstore-race serving-race delta-race stream-race bench-blocking bench-docstore bench-serving bench-delta bench-dedup
+ci: fmt vet build race docs conformance fuzz-smoke cover score-race blocking-race docstore-race serving-race delta-race stream-race provenance-race bench-blocking bench-docstore bench-serving bench-delta bench-dedup
 
 # Fail when any tracked Go file is not gofmt-clean.
 fmt:
@@ -93,6 +93,15 @@ stream-race:
 	$(GO) test -race -run 'TestStream|TestThresholdBucket|TestCurveFromCounts|TestMemo' ./internal/dedup
 	$(GO) test -race -run 'TestConformanceStreamingDedup' ./internal/testkit
 
+# The provenance-chain suite under the race detector — the record's own unit
+# and hostile-input tests, the save-mode-independence differential oracle
+# (full reimport vs delta-applied store must stamp byte-identical records at
+# every worker count) and the bit-flip fault sweep that must pinpoint the
+# exact corrupted file (docs/ARCHITECTURE.md "Provenance chain").
+provenance-race:
+	$(GO) test -race ./internal/provenance
+	$(GO) test -race -run 'TestConformanceProvenance|TestProvenanceFaultSweep' ./internal/testkit
+
 # The unified conformance harness (docs/TESTING.md): the three differential
 # oracles — ingest, scoring, docstore — through internal/testkit under the
 # race detector, plus the fault-injection sweep, the examples smoke test
@@ -109,7 +118,9 @@ FUZZ_TARGETS = \
 	FuzzLoadFile:./internal/docstore \
 	FuzzLoadSegmented:./internal/docstore \
 	FuzzStringKernels:./internal/simil \
-	FuzzTokenKernels:./internal/simil
+	FuzzTokenKernels:./internal/simil \
+	FuzzProvenanceDecode:./internal/provenance \
+	FuzzChainVerify:./internal/provenance
 
 fuzz-smoke:
 	@set -e; for t in $(FUZZ_TARGETS); do \

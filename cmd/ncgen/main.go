@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/corrupt"
+	"repro/internal/provenance"
 	"repro/internal/synth"
 )
 
@@ -43,6 +44,19 @@ func main() {
 	}
 	paths, err := synth.WriteAllParallel(cfg, *out, *workers)
 	if err != nil {
+		log.Fatal(err)
+	}
+	// Drop the generator descriptor next to the snapshots: ncimport carries
+	// it into the store's provenance record, binding the corpus to this
+	// exact (tool, seed, parameters) run.
+	errors := "light"
+	if *heavy {
+		errors = "heavy"
+	}
+	if err := provenance.WriteGeneratorInfo(*out, provenance.GeneratorInfo{
+		Tool: "ncgen", Seed: *seed, Voters: *voters, Years: *years,
+		Errors: errors, UnsoundRate: *unsound,
+	}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %d snapshots to %s (initial voters %d, %d years, seed %d)\n",

@@ -46,8 +46,26 @@ import (
 	"repro/internal/hetero"
 	"repro/internal/obs"
 	"repro/internal/plaus"
+	"repro/internal/provenance"
 	"repro/internal/voter"
 )
+
+// stampMeta assembles the provenance metadata of one import run: the mode,
+// the full snapshot lineage across all published versions, and the ncgen
+// descriptor of the input directory when one is present.
+func stampMeta(ds *core.Dataset, in string) provenance.Meta {
+	gen, err := provenance.ReadGeneratorInfo(in)
+	if err != nil {
+		log.Printf("reading %s: %v (continuing without generator metadata)", in, err)
+		gen = nil
+	}
+	return provenance.Meta{
+		Source:    "ncimport",
+		Mode:      ds.Mode.String(),
+		Lineage:   ds.SnapshotLineage(),
+		Generator: gen,
+	}
+}
 
 func parseMode(s string) (core.RemovalMode, error) {
 	switch s {
@@ -181,7 +199,11 @@ func main() {
 		version := ds.Publish()
 		saveOpts.Dirty = merged.DirtyIDs()
 		timed("persist", func() {
-			if err := ds.ToDocDB().SaveParallelOpts(*db, saveOpts); err != nil {
+			// Save and stamp in one pass: the dirty save reuses unchanged
+			// segments, and the provenance record extends the store's hash
+			// chain, carrying their digests over.
+			if _, err := provenance.Save(ds.ToDocDB(), *db, saveOpts,
+				provenance.StampOpts{Meta: stampMeta(ds, *in), Observer: metrics}); err != nil {
 				log.Fatal(err)
 			}
 		})
@@ -215,10 +237,13 @@ func main() {
 		})
 	}
 	version := ds.Publish()
-	// Segmented parallel save: segment files plus a manifest. The bytes do
-	// not depend on the worker count, and older flat stores load unchanged.
+	// Segmented parallel save plus a provenance stamp: segment files, a
+	// manifest per collection, and a hash-chained record of their digests
+	// (`ncstats -verify` re-derives it). The bytes do not depend on the
+	// worker count, and older flat stores load unchanged.
 	timed("persist", func() {
-		if err := ds.ToDocDB().SaveParallelOpts(*db, saveOpts); err != nil {
+		if _, err := provenance.Save(ds.ToDocDB(), *db, saveOpts,
+			provenance.StampOpts{Meta: stampMeta(ds, *in), Observer: metrics}); err != nil {
 			log.Fatal(err)
 		}
 	})

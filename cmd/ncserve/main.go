@@ -21,6 +21,8 @@
 //	GET /v1/years                 per-year import history (Table 1)
 //	GET /v1/histogram             cluster-size histogram (Fig. 1)
 //	GET /v1/versions              published versions
+//	GET /v1/provenance            the store's hash-chained provenance
+//	                              record (404 when the store has none)
 //	GET /v1/records/{ncid}        one person's record view (O(1) lookup)
 //	GET /v1/clusters/{ncid}       one cluster document
 //	GET /v1/clusters/summary      aggregation over the served clusters
@@ -61,6 +63,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/docstore"
 	"repro/internal/httpapi"
+	"repro/internal/provenance"
 )
 
 func main() {
@@ -104,7 +107,20 @@ func main() {
 		if err != nil {
 			return err
 		}
-		gen := api.Publish(ds)
+		// Pick up the store's provenance record for /v1/provenance. A store
+		// without one (or with a record this build rejects) serves 404 on
+		// that endpoint; it is not a reason to refuse the corpus.
+		var record []byte
+		if rec, raw, perr := provenance.LoadRecord(nil, *db); perr != nil {
+			if raw != nil { // a record exists but does not decode/validate
+				log.Printf("ignoring %s: %v", provenance.RecordPath(*db), perr)
+			}
+		} else if serr := rec.SelfCheck(); serr != nil {
+			log.Printf("ignoring %s: %v", provenance.RecordPath(*db), serr)
+		} else {
+			record = raw
+		}
+		gen := api.PublishWithProvenance(ds, record)
 		log.Printf("generation %d: serving %d clusters / %d records from %s",
 			gen, ds.NumClusters(), ds.NumRecords(), *db)
 		return nil

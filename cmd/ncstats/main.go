@@ -3,9 +3,16 @@
 // cluster-size histogram (Fig. 1) and — when scores were computed — the
 // plausibility and heterogeneity distributions (Fig. 4).
 //
+// With -verify it instead checks the store against its provenance record
+// (internal/provenance): every segment and manifest digest is re-derived and
+// the hash chain is walked, so any flipped bit since the last stamp is
+// reported with the exact corrupted file named. -expect-root additionally
+// pins the record to an out-of-band corpus root or head hash.
+//
 // Usage:
 //
 //	ncstats -db store/
+//	ncstats -db store/ -verify [-verify-workers N] [-expect-root HEX]
 package main
 
 import (
@@ -19,18 +26,27 @@ import (
 	"repro/internal/docstore"
 	"repro/internal/hetero"
 	"repro/internal/plaus"
+	"repro/internal/provenance"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ncstats: ")
 	var (
-		db      = flag.String("db", "store", "document-database directory")
-		version = flag.Int("version", 0, "reconstruct and report this published version (0 = latest)")
-		from    = flag.String("from", "", "restrict to snapshots >= this date (YYYY-MM-DD)")
-		to      = flag.String("to", "", "restrict to snapshots <= this date (YYYY-MM-DD)")
+		db         = flag.String("db", "store", "document-database directory")
+		version    = flag.Int("version", 0, "reconstruct and report this published version (0 = latest)")
+		from       = flag.String("from", "", "restrict to snapshots >= this date (YYYY-MM-DD)")
+		to         = flag.String("to", "", "restrict to snapshots <= this date (YYYY-MM-DD)")
+		verify     = flag.Bool("verify", false, "verify the store against its provenance record and exit")
+		verifyWork = flag.Int("verify-workers", 0, "leaf-hashing workers for -verify (0 = all cores)")
+		expectRoot = flag.String("expect-root", "", "with -verify: require the record's corpus root or head hash to equal this digest")
 	)
 	flag.Parse()
+
+	if *verify {
+		runVerify(*db, *verifyWork, *expectRoot)
+		return
+	}
 
 	stored, err := docstore.Load(*db)
 	if err != nil {
@@ -92,6 +108,35 @@ func main() {
 	if hs := hetero.ClusterHeterogeneity(ds, core.KindHeteroPerson); len(hs) > 0 {
 		fmt.Fprintf(out, "heterogeneity (person): %d scored clusters, avg %.3f, max %.3f\n",
 			len(hs), mean(hs), maxOf(hs))
+	}
+}
+
+// runVerify checks the store against its provenance record and exits: 0 on
+// a clean verification, non-zero with every corrupted file named otherwise.
+func runVerify(dir string, workers int, expectRoot string) {
+	rep, err := provenance.VerifyDir(dir, provenance.VerifyOpts{
+		Workers:    workers,
+		ExpectRoot: expectRoot,
+	})
+	if err != nil {
+		for _, f := range rep.Bad {
+			log.Printf("corrupted: %s", f)
+		}
+		log.Fatal(err)
+	}
+	rec := rep.Record
+	fmt.Printf("store %s: provenance OK\n", dir)
+	fmt.Printf("  chain: %d link(s), head %s\n", len(rec.Chain), rec.HeadHash())
+	fmt.Printf("  corpus root: %s\n", rec.Root())
+	fmt.Printf("  verified: %d collection(s), %d segment(s), %d documents, %d bytes hashed\n",
+		len(rec.Collections), rep.Leaves, rec.Head().Docs, rep.Bytes)
+	if len(rec.Meta.Lineage) > 0 {
+		fmt.Printf("  lineage: %d snapshot(s), %s .. %s\n",
+			len(rec.Meta.Lineage), rec.Meta.Lineage[0], rec.Meta.Lineage[len(rec.Meta.Lineage)-1])
+	}
+	if g := rec.Meta.Generator; g != nil {
+		fmt.Printf("  generator: %s seed %d (%d voters, %d years, %s errors)\n",
+			g.Tool, g.Seed, g.Voters, g.Years, g.Errors)
 	}
 }
 

@@ -288,6 +288,18 @@ func (d *Dataset) Publish() int {
 // Versions returns the published versions in order.
 func (d *Dataset) Versions() []Version { return d.versions }
 
+// SnapshotLineage flattens the published versions' snapshot dates into one
+// import-ordered list — the dataset's update history (Fig. 2), recorded into
+// the provenance metadata so a verified corpus also names the snapshots
+// that built it.
+func (d *Dataset) SnapshotLineage() []string {
+	var dates []string
+	for _, v := range d.versions {
+		dates = append(dates, v.Snapshots...)
+	}
+	return dates
+}
+
 // Imports returns the per-snapshot import statistics in import order.
 func (d *Dataset) Imports() []ImportStats { return d.imports }
 

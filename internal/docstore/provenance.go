@@ -1,0 +1,34 @@
+package docstore
+
+// SegmentDigest describes one committed segment file to a ProvenanceSink:
+// the manifest entry's identity (file name, document and byte counts, CRC)
+// plus the SHA-256 of the segment's bytes when the save encoded them fresh.
+// A reused segment of a dirty-segment save carries Reused = true and a nil
+// SHA256 — its bytes provably did not change since the previous save, so
+// the sink can carry the previous record's digest over instead of
+// re-reading the file.
+type SegmentDigest struct {
+	File   string
+	Docs   int
+	Bytes  int64
+	CRC32  uint32
+	SHA256 []byte
+	Reused bool
+}
+
+// ProvenanceSink receives each collection's committed segment layout right
+// after the collection's manifest rename — the commit point — in the
+// deterministic sorted-collection order of SaveParallelOpts. The provenance
+// layer (internal/provenance) assembles hash-chained corpus records from
+// these callbacks without re-reading any freshly written file; the digests
+// are computed from the exact buffers the save wrote, on the save's own
+// worker pool. The interface lives here (instead of importing provenance)
+// to keep docstore dependency-free.
+type ProvenanceSink interface {
+	CommitCollection(dir, name string, stride, docs int, segments []SegmentDigest)
+}
+
+// ManifestFileName returns the on-disk manifest file name of a segmented
+// collection — exported so the provenance layer can digest the manifest it
+// covers without duplicating the naming scheme.
+func ManifestFileName(name string) string { return name + manifestSuffix }

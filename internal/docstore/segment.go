@@ -2,6 +2,7 @@ package docstore
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -104,6 +105,12 @@ type SaveOpts struct {
 	Dirty map[string]map[string]bool
 	// Observer receives the docstore_* persistence counters; nil drops them.
 	Observer StoreObserver
+	// Provenance, when non-nil, receives every collection's committed
+	// segment layout — including SHA-256 digests of freshly written
+	// segments, computed from the encode buffers on the save's worker pool —
+	// so the provenance layer can stamp a verifiable corpus record without
+	// re-reading any file. See ProvenanceSink.
+	Provenance ProvenanceSink
 	// FS substitutes the filesystem the save runs on; nil selects OSFS.
 	// The conformance harness injects failures here.
 	FS FS
@@ -335,7 +342,9 @@ func (c *Collection) saveSegmented(dir string, opts SaveOpts) error {
 	}
 	workers = min(workers, n)
 
+	wantSHA := opts.Provenance != nil
 	infos := make([]segmentInfo, n)
+	shas := make([][]byte, n)
 	errs := make([]error, n)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -345,8 +354,8 @@ func (c *Collection) saveSegmented(dir string, opts SaveOpts) error {
 			defer wg.Done()
 			for i := range jobs {
 				lo, hi := ranges[i][0], ranges[i][1]
-				infos[i], errs[i] = writeSegment(
-					fsys, filepath.Join(dir, segmentFileName(c.name, i)), docs[lo:hi])
+				infos[i], shas[i], errs[i] = writeSegment(
+					fsys, filepath.Join(dir, segmentFileName(c.name, i)), docs[lo:hi], wantSHA)
 			}
 		}()
 	}
@@ -396,6 +405,17 @@ func (c *Collection) saveSegmented(dir string, opts SaveOpts) error {
 	fsys.Remove(filepath.Join(dir, c.name+".jsonl"))
 	removeStaleSegments(fsys, dir, c.name, n)
 
+	if opts.Provenance != nil {
+		digests := make([]SegmentDigest, n)
+		for i, info := range infos {
+			digests[i] = SegmentDigest{
+				File: info.File, Docs: info.Docs, Bytes: info.Bytes, CRC32: info.CRC32,
+				SHA256: shas[i], Reused: reuse != nil && reuse[i].File != "",
+			}
+		}
+		opts.Provenance.CommitCollection(dir, c.name, max(opts.Stride, 0), len(docs), digests)
+	}
+
 	o := opts.Observer
 	addN(o, CounterSegmentsWritten, int64(written))
 	addN(o, CounterSegmentsReused, int64(n-written))
@@ -414,32 +434,39 @@ func (c *Collection) saveSegmented(dir string, opts SaveOpts) error {
 }
 
 // writeSegment encodes docs into a pooled buffer and writes them to path via
-// a temporary file and rename.
-func writeSegment(fsys FS, path string, docs []Document) (segmentInfo, error) {
+// a temporary file and rename. With wantSHA it also returns the SHA-256 of
+// the written bytes — computed here, from the exact buffer that hit the
+// disk, so a ProvenanceSink never has to read the file back.
+func writeSegment(fsys FS, path string, docs []Document, wantSHA bool) (segmentInfo, []byte, error) {
 	buf := segmentBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer segmentBufPool.Put(buf)
 	enc := json.NewEncoder(buf)
 	for _, d := range docs {
 		if err := enc.Encode(d); err != nil {
-			return segmentInfo{}, fmt.Errorf("docstore: %s: %w", path, err)
+			return segmentInfo{}, nil, fmt.Errorf("docstore: %s: %w", path, err)
 		}
 	}
 	tmp := path + ".tmp"
 	if err := fsys.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
 		fsys.Remove(tmp)
-		return segmentInfo{}, err
+		return segmentInfo{}, nil, err
 	}
 	if err := fsys.Rename(tmp, path); err != nil {
 		fsys.Remove(tmp)
-		return segmentInfo{}, err
+		return segmentInfo{}, nil, err
+	}
+	var sha []byte
+	if wantSHA {
+		sum := sha256.Sum256(buf.Bytes())
+		sha = sum[:]
 	}
 	return segmentInfo{
 		File:  filepath.Base(path),
 		Docs:  len(docs),
 		Bytes: int64(buf.Len()),
 		CRC32: crc32.ChecksumIEEE(buf.Bytes()),
-	}, nil
+	}, sha, nil
 }
 
 // removeStaleSegments deletes segment files of the collection with index >=

@@ -137,6 +137,7 @@ func NewDeferred(opts ...Option) *Server {
 		s.cache = serving.NewResponseCache(cfg.CacheSize, s.metrics)
 	}
 	s.register(s.metaRoutes())
+	s.register(s.provenanceRoutes())
 	s.register(s.clusterRoutes())
 	s.register(s.summaryRoutes())
 	s.register(s.recordRoutes())
@@ -161,6 +162,14 @@ func NewDeferred(opts ...Option) *Server {
 // swap see only the new one. Publish is safe to call while serving (reload
 // on SIGHUP); the dataset must not be mutated afterwards.
 func (s *Server) Publish(ds *core.Dataset) uint64 {
+	return s.PublishWithProvenance(ds, nil)
+}
+
+// PublishWithProvenance is Publish carrying the raw provenance record of the
+// store the dataset was loaded from; it is served verbatim on
+// /v1/provenance for this generation. A nil record publishes a generation
+// without provenance (the endpoint answers 404).
+func (s *Server) PublishWithProvenance(ds *core.Dataset, record json.RawMessage) uint64 {
 	db := ds.ToDocDB()
 	clusters := db.Collection(core.ClustersCollection)
 	clusters.CreateOrderedIndex("plausibility")
@@ -173,6 +182,7 @@ func (s *Server) Publish(ds *core.Dataset) uint64 {
 	snap := serving.Build(ds, db, serving.BuildOpts{
 		Workers:    s.storeWorkers,
 		Precompute: s.snapshotMode,
+		Provenance: record,
 	})
 	return s.source.Swap(snap)
 }

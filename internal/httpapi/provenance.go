@@ -1,0 +1,35 @@
+package httpapi
+
+import (
+	"net/http"
+
+	"repro/internal/provenance"
+)
+
+// provenanceRoutes serves the corpus provenance record: the hash-chained,
+// Merkle-rooted statement of exactly which bytes this generation was loaded
+// from (internal/provenance). Clients benchmarking against the API can pin
+// the record's head hash and later re-verify the store with
+// `ncstats -verify`. The record is a pure function of the snapshot, so the
+// route is cacheable; it revalidates on the generation ETag like every other
+// resource.
+func (s *Server) provenanceRoutes() []route {
+	return []route{
+		{"GET", "/provenance", s.handleProvenance, true},
+	}
+}
+
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	snap := s.requireSnapshot(w, r)
+	if snap == nil {
+		return
+	}
+	raw := snap.Provenance()
+	if raw == nil {
+		writeError(w, http.StatusNotFound, "no_provenance",
+			"the served store carries no provenance record")
+		return
+	}
+	s.metrics.AddN(provenance.CounterServed, 1)
+	s.writeData(w, r, snap, raw, nil)
+}

@@ -198,13 +198,15 @@ func (m *Metrics) PrometheusText() string {
 	// blocking_stream_* counters split out — checked first, since they share
 	// the blocking_ prefix), the streaming scoring consumer's
 	// dedup_stream_* counters, the document store's docstore_* counters,
-	// the serving snapshots' serving_* counters, and the middleware's
-	// events.
-	var eventNames, ingestNames, deltaNames, scoreNames, blockingNames, blockingStreamNames, dedupStreamNames, docstoreNames, servingNames []string
+	// the serving snapshots' serving_* counters, the provenance layer's
+	// provenance_* counters, and the middleware's events.
+	var eventNames, ingestNames, deltaNames, scoreNames, blockingNames, blockingStreamNames, dedupStreamNames, docstoreNames, servingNames, provenanceNames []string
 	for name := range snap.Counters {
 		switch {
 		case strings.HasPrefix(name, "ingest_"):
 			ingestNames = append(ingestNames, name)
+		case strings.HasPrefix(name, "provenance_"):
+			provenanceNames = append(provenanceNames, name)
 		case strings.HasPrefix(name, "delta_"):
 			deltaNames = append(deltaNames, name)
 		case strings.HasPrefix(name, "score_"):
@@ -232,6 +234,7 @@ func (m *Metrics) PrometheusText() string {
 	sort.Strings(dedupStreamNames)
 	sort.Strings(docstoreNames)
 	sort.Strings(servingNames)
+	sort.Strings(provenanceNames)
 	fmt.Fprintf(&b, "# HELP http_server_events_total Middleware events (panics, timeouts, shed).\n")
 	fmt.Fprintf(&b, "# TYPE http_server_events_total counter\n")
 	for _, name := range eventNames {
@@ -296,6 +299,14 @@ func (m *Metrics) PrometheusText() string {
 		fmt.Fprintf(&b, "# TYPE serving_total counter\n")
 		for _, name := range servingNames {
 			fmt.Fprintf(&b, "serving_total{counter=%q} %d\n", strings.TrimPrefix(name, "serving_"), snap.Counters[name])
+		}
+	}
+
+	if len(provenanceNames) > 0 {
+		fmt.Fprintf(&b, "# HELP provenance_total Corpus provenance counters (records stamped, chain links/resets, leaves hashed/reused, verify runs/leaves/failures, records served).\n")
+		fmt.Fprintf(&b, "# TYPE provenance_total counter\n")
+		for _, name := range provenanceNames {
+			fmt.Fprintf(&b, "provenance_total{counter=%q} %d\n", strings.TrimPrefix(name, "provenance_"), snap.Counters[name])
 		}
 	}
 

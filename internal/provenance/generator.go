@@ -1,0 +1,42 @@
+package provenance
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// GeneratorFile names the generator descriptor ncgen drops next to the
+// snapshot CSVs it writes. ncimport picks it up and carries it into the
+// provenance record's Meta, binding the corpus to the exact generator run
+// (tool, seed, parameters) that produced it — the reproducibility contract
+// of the paper's synthetic datasets.
+const GeneratorFile = "generator.json"
+
+// WriteGeneratorInfo writes the descriptor into dir.
+func WriteGeneratorInfo(dir string, g GeneratorInfo) error {
+	b, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return fmt.Errorf("provenance: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, GeneratorFile), append(b, '\n'), 0o644)
+}
+
+// ReadGeneratorInfo reads the descriptor from dir. A missing file is not an
+// error — hand-built snapshot directories simply have no generator — and
+// returns (nil, nil).
+func ReadGeneratorInfo(dir string) (*GeneratorInfo, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, GeneratorFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var g GeneratorInfo
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return nil, fmt.Errorf("provenance: %s: %w", filepath.Join(dir, GeneratorFile), err)
+	}
+	return &g, nil
+}

@@ -1,0 +1,109 @@
+package provenance
+
+import (
+	"fmt"
+	"testing"
+)
+
+// rfc6962Leaves are the RFC 6962 known-answer inputs; rfc6962Roots[n] is the
+// published root of the first n leaves. Pinning these proves the tree shape
+// (domain separation, split point) matches Certificate Transparency exactly,
+// not just some self-consistent variant.
+var rfc6962Leaves = [][]byte{
+	{}, {0x00}, {0x10}, {0x20, 0x21}, {0x30, 0x31},
+	{0x40, 0x41, 0x42, 0x43},
+	{0x50, 0x51, 0x52, 0x53, 0x54, 0x55, 0x56, 0x57},
+	{0x60, 0x61, 0x62, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x6b, 0x6c, 0x6d, 0x6e, 0x6f},
+}
+
+var rfc6962Roots = []string{
+	"e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+	"6e340b9cffb37a989ca544e6bb780a2c78901d3fb33738768511a30617afa01d",
+	"fac54203e7cc696cf0dfcb42c92a1d9dbaf70ad9e621f4bd8d98662f00e3c125",
+	"aeb6bcfe274b70a14fb067a5e5578264db0fa9b51af5e0ba159158f329e06e77",
+	"d37ee418976dd95753c1c73862b9398fa2a2cf9b4ff0fdfe8b30cd95209614b7",
+	"4e3bbb1f7b478dcfe71fb631631519a3bca12c9aefca1612bfce4c13a86264d4",
+	"76e67dadbcdf1e10e1b74ddc608abd2f98dfb16fbce75277b5232a127f2087ef",
+	"ddb89be403809e325750d3d263cd78929c2942b7942a34b77e122c9594a74c8c",
+	"5dc9da79a70659a9ad559cb701ded9a2ab9d823aad2f4960cfe370eff4604328",
+}
+
+func TestMerkleRootRFC6962Vectors(t *testing.T) {
+	for n := 0; n <= len(rfc6962Leaves); n++ {
+		if got := hexDigest(MerkleRoot(rfc6962Leaves[:n])); got != rfc6962Roots[n] {
+			t.Errorf("root over %d RFC 6962 leaves: %s, want %s", n, got, rfc6962Roots[n])
+		}
+	}
+}
+
+// treeLeaves builds n distinct deterministic leaves.
+func treeLeaves(n int) [][]byte {
+	leaves := make([][]byte, n)
+	for i := range leaves {
+		leaves[i] = []byte(fmt.Sprintf("leaf-%d-of-%d", i, n))
+	}
+	return leaves
+}
+
+// TestMerkleProofProperty sweeps every tree size 1..257 (both sides of every
+// power of two the split point cares about): at sampled positions the
+// inclusion proof must verify against the root, and every single-bit
+// departure — mutated leaf data, any one mutated proof sibling, a truncated
+// proof, a shifted index — must fail.
+func TestMerkleProofProperty(t *testing.T) {
+	for n := 1; n <= 257; n++ {
+		leaves := treeLeaves(n)
+		root := MerkleRoot(leaves)
+		// First, last, middle, and a stride-walk of further positions.
+		positions := map[int]bool{0: true, n - 1: true, n / 2: true}
+		for i := 0; i < n; i += 1 + n/7 {
+			positions[i] = true
+		}
+		for i := range positions {
+			proof := MerkleProof(leaves, i)
+			if !VerifyMerkleProof(leaves[i], i, n, proof, root) {
+				t.Fatalf("n=%d i=%d: valid proof rejected", n, i)
+			}
+			mutated := append([]byte{}, leaves[i]...)
+			mutated[0] ^= 1
+			if VerifyMerkleProof(mutated, i, n, proof, root) {
+				t.Fatalf("n=%d i=%d: proof accepted mutated leaf data", n, i)
+			}
+			if n > 1 {
+				j := (i + 1) % n
+				if VerifyMerkleProof(leaves[i], j, n, proof, root) {
+					t.Fatalf("n=%d i=%d: proof accepted at wrong index %d", n, i, j)
+				}
+				if VerifyMerkleProof(leaves[i], i, n, proof[:len(proof)-1], root) {
+					t.Fatalf("n=%d i=%d: truncated proof accepted", n, i)
+				}
+			}
+			for s := range proof {
+				bad := append([]Digest{}, proof...)
+				bad[s][0] ^= 1
+				if VerifyMerkleProof(leaves[i], i, n, bad, root) {
+					t.Fatalf("n=%d i=%d: proof accepted with sibling %d mutated", n, i, s)
+				}
+			}
+		}
+	}
+}
+
+func TestMerkleProofBounds(t *testing.T) {
+	leaves := treeLeaves(5)
+	if MerkleProof(leaves, -1) != nil || MerkleProof(leaves, 5) != nil {
+		t.Error("out-of-range proof request did not return nil")
+	}
+	root := MerkleRoot(leaves)
+	if VerifyMerkleProof(leaves[0], -1, 5, nil, root) {
+		t.Error("negative index verified")
+	}
+	if VerifyMerkleProof(leaves[0], 0, 0, nil, root) {
+		t.Error("empty tree membership verified")
+	}
+	// A proof padded with an extra sibling must fail, not panic.
+	proof := append(MerkleProof(leaves, 2), Digest{})
+	if VerifyMerkleProof(leaves[2], 2, 5, proof, root) {
+		t.Error("overlong proof accepted")
+	}
+}

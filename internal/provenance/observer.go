@@ -1,0 +1,47 @@
+package provenance
+
+// Observer receives the provenance counters — the provenance_total family
+// on GET /metrics. obs.Metrics satisfies it through AddN; the interface
+// lives here so the package stays free of the obs dependency.
+type Observer interface {
+	// AddN adds n to the named counter. Called from worker goroutines;
+	// implementations must be safe for concurrent use.
+	AddN(counter string, n int64)
+}
+
+// Counter names of the provenance_total family.
+const (
+	// CounterStamps counts records written by Save.
+	CounterStamps = "provenance_stamps"
+	// CounterLinks counts chain links appended (1 per Save; the genesis
+	// link of a fresh chain included).
+	CounterLinks = "provenance_links"
+	// CounterChainResets counts Saves that found a previous record but
+	// could not extend it (malformed or self-inconsistent) and started a
+	// fresh chain instead. A missing record is a plain genesis, not a
+	// reset.
+	CounterChainResets = "provenance_chain_resets"
+	// CounterLeavesHashed counts segment leaves whose SHA-256 was computed
+	// from bytes (fresh writes, or reused segments re-read because the
+	// previous record did not cover them).
+	CounterLeavesHashed = "provenance_leaves_hashed"
+	// CounterLeavesReused counts leaves whose digest was carried over from
+	// the previous record without re-reading the segment — the dirty-save
+	// fast path.
+	CounterLeavesReused = "provenance_leaves_reused"
+	// CounterVerifyRuns / CounterVerifyLeaves / CounterVerifyFailures track
+	// VerifyDir: runs started, leaves whose digests were re-derived, and
+	// runs that found a mismatch.
+	CounterVerifyRuns     = "provenance_verify_runs"
+	CounterVerifyLeaves   = "provenance_verify_leaves"
+	CounterVerifyFailures = "provenance_verify_failures"
+	// CounterServed counts GET /v1/provenance responses carrying a record.
+	CounterServed = "provenance_served"
+)
+
+// addN reports to a possibly nil observer, skipping zero deltas.
+func addN(o Observer, counter string, n int64) {
+	if o != nil && n != 0 {
+		o.AddN(counter, n)
+	}
+}

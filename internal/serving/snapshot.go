@@ -21,6 +21,7 @@ type Snapshot struct {
 	generation uint64
 	ds         *core.Dataset
 	db         *docstore.DB
+	provenance json.RawMessage
 
 	precomputed bool
 	stats       json.RawMessage
@@ -64,6 +65,10 @@ type BuildOpts struct {
 	// Without it the snapshot only carries the dataset, the database and
 	// the generation — the store-backed serving mode.
 	Precompute bool
+	// Provenance is the raw provenance record of the store this snapshot
+	// was loaded from, served verbatim on /v1/provenance. Nil when the
+	// store carries no record.
+	Provenance json.RawMessage
 }
 
 // Build freezes one dataset version into a snapshot. The document database
@@ -72,7 +77,7 @@ type BuildOpts struct {
 // rank-addressed scan, so the precompute cost is paid at build time — and
 // parallelized — instead of per request.
 func Build(ds *core.Dataset, db *docstore.DB, opts BuildOpts) *Snapshot {
-	sn := &Snapshot{ds: ds, db: db, precomputed: opts.Precompute}
+	sn := &Snapshot{ds: ds, db: db, precomputed: opts.Precompute, provenance: opts.Provenance}
 	if !opts.Precompute {
 		return sn
 	}
@@ -120,6 +125,10 @@ func (sn *Snapshot) DB() *docstore.DB { return sn.db }
 
 // Precomputed reports whether the read-optimized tables were built.
 func (sn *Snapshot) Precomputed() bool { return sn.precomputed }
+
+// Provenance returns the raw provenance record this generation serves, or
+// nil when its store carried none.
+func (sn *Snapshot) Provenance() json.RawMessage { return sn.provenance }
 
 // Stats returns the marshaled /v1/stats payload.
 func (sn *Snapshot) Stats() json.RawMessage { return sn.stats }

@@ -1,0 +1,51 @@
+package testkit
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/docstore"
+)
+
+// CorruptFS wraps docstore.OSFS with deterministic read-side corruption: a
+// ReadFile of the target file (matched by base name) returns the real bytes
+// with exactly one bit flipped. Nothing on disk changes, so one store can be
+// swept file by file — the single-bit-flip model a provenance verifier must
+// catch and pinpoint, complementing FaultFS's write-side faults. All other
+// operations and all other files pass through untouched.
+type CorruptFS struct {
+	// Target is the base name of the file whose reads are corrupted.
+	Target string
+	// BitOffset selects which bit to flip, counted across the whole file;
+	// it wraps modulo the file size, so any value corrupts any non-empty
+	// file.
+	BitOffset int
+}
+
+func (c *CorruptFS) ReadFile(path string) ([]byte, error) {
+	data, err := docstore.OSFS.ReadFile(path)
+	if err != nil || filepath.Base(path) != c.Target || len(data) == 0 {
+		return data, err
+	}
+	bit := c.BitOffset % (len(data) * 8)
+	flipped := append([]byte{}, data...)
+	flipped[bit/8] ^= 1 << (bit % 8)
+	return flipped, nil
+}
+
+func (c *CorruptFS) MkdirAll(path string, perm fs.FileMode) error {
+	return docstore.OSFS.MkdirAll(path, perm)
+}
+func (c *CorruptFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	return docstore.OSFS.WriteFile(path, data, perm)
+}
+func (c *CorruptFS) Rename(oldpath, newpath string) error {
+	return docstore.OSFS.Rename(oldpath, newpath)
+}
+func (c *CorruptFS) Remove(path string) error { return docstore.OSFS.Remove(path) }
+func (c *CorruptFS) ReadDir(path string) ([]os.DirEntry, error) {
+	return docstore.OSFS.ReadDir(path)
+}
+
+var _ docstore.FS = (*CorruptFS)(nil)
